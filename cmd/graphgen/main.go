@@ -1,0 +1,88 @@
+// Command graphgen emits workload graphs as JSON (the format graph.ReadJSON
+// accepts) or Graphviz DOT.
+//
+// Usage:
+//
+//	graphgen -kind ding|cactus|tree|cycle|grid|outerplanar|cliquependants|gnp \
+//	         [-n N] [-t T] [-seed S] [-p P] [-format json|dot] [-o out]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"localmds/internal/ding"
+	"localmds/internal/gen"
+	"localmds/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kind := flag.String("kind", "ding", "generator kind")
+	n := flag.Int("n", 60, "target size")
+	tParam := flag.Int("t", 5, "K_{2,t} parameter (ding)")
+	seed := flag.Int64("seed", 1, "seed")
+	p := flag.Float64("p", 0.05, "edge probability (gnp)")
+	format := flag.String("format", "json", "output format: json|dot")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var g *graph.Graph
+	var err error
+	switch *kind {
+	case "ding":
+		g, err = ding.Generate(ding.Config{Kind: ding.Mixed, N: *n, T: *tParam}, rng)
+	case "cactus":
+		g = gen.RandomCactus(*n, rng)
+	case "tree":
+		g = gen.RandomTree(*n, rng)
+	case "cycle":
+		g = gen.Cycle(*n)
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= *n {
+			side++
+		}
+		g = gen.Grid(side, side)
+	case "outerplanar":
+		g = gen.MaximalOuterplanar(*n, rng)
+	case "cliquependants":
+		g = gen.CliquePendants(*n / 2)
+	case "gnp":
+		g = gen.GNPConnected(*n, *p, rng)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		return g.WriteJSON(w)
+	case "dot":
+		_, err := io.WriteString(w, g.DOT(*kind, nil))
+		return err
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}

@@ -1,0 +1,121 @@
+// Command mdsbench regenerates the paper's evaluation: Table 1, the vertex
+// cover variants, and the per-lemma measurements (Lemmas 3.2, 3.3, 4.2,
+// 5.17/5.18, Propositions 3.1/5.7/5.8, and the §4 cycle discussion).
+//
+// Usage:
+//
+//	mdsbench [-seed N] [-n N] [-process-n N] [-only table1|mvc|lemmas|spqr|prop31|cycle]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"localmds/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "mdsbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "generator seed")
+	n := flag.Int("n", 120, "instance size for ratio measurements")
+	processN := flag.Int("process-n", 48, "instance size for simulator round measurements")
+	only := flag.String("only", "", "run a single experiment group (table1|mvc|lemmas|spqr|prop31|cycle|ablation)")
+	flag.Parse()
+
+	cfg := experiments.Table1Config{Seed: *seed, N: *n, ProcessN: *processN}
+	want := func(group string) bool { return *only == "" || *only == group }
+
+	if want("table1") {
+		tab, err := experiments.Table1(cfg)
+		if err != nil {
+			return fmt.Errorf("table1: %w", err)
+		}
+		fmt.Println(tab.Render())
+	}
+	if want("mvc") {
+		tab, err := experiments.MVCTable(cfg)
+		if err != nil {
+			return fmt.Errorf("mvc: %w", err)
+		}
+		fmt.Println(tab.Render())
+	}
+	if want("lemmas") {
+		l32, err := experiments.Lemma32(*seed, []int{*n / 2, *n}, 3)
+		if err != nil {
+			return fmt.Errorf("lemma 3.2: %w", err)
+		}
+		fmt.Println(l32.Render())
+		l33, err := experiments.Lemma33(*seed, []int{*n / 2, *n / 1}, 3)
+		if err != nil {
+			return fmt.Errorf("lemma 3.3: %w", err)
+		}
+		fmt.Println(l33.Render())
+		l42, err := experiments.Lemma42(*seed, []int{*n, 2 * *n, 4 * *n})
+		if err != nil {
+			return fmt.Errorf("lemma 4.2: %w", err)
+		}
+		fmt.Println(l42.Render())
+		l518, err := experiments.Lemma518(*seed, []int{*n / 2, *n}, 5)
+		if err != nil {
+			return fmt.Errorf("lemma 5.18: %w", err)
+		}
+		fmt.Println(l518.Render())
+	}
+	if want("cycle") {
+		fmt.Println(experiments.CycleLocalCuts([]int{30, 100, 300, 1000}, 3).Render())
+	}
+	if want("spqr") {
+		tab, err := experiments.SPQRStats(*seed, []int{16, 24, 32})
+		if err != nil {
+			return fmt.Errorf("spqr: %w", err)
+		}
+		fmt.Println(tab.Render())
+	}
+	if want("prop31") {
+		tab, err := experiments.Proposition31(cfg)
+		if err != nil {
+			return fmt.Errorf("prop31: %w", err)
+		}
+		fmt.Println(tab.Render())
+	}
+	if want("ablation") {
+		rad, err := experiments.RadiusAblation(*seed, *n, []int{2, 3, 4, 5, 6})
+		if err != nil {
+			return fmt.Errorf("radius ablation: %w", err)
+		}
+		fmt.Println(rad.Render())
+		rvt, err := experiments.RoundsVsT(*seed, *processN, []int{3, 4, 5, 6})
+		if err != nil {
+			return fmt.Errorf("rounds vs t: %w", err)
+		}
+		fmt.Println(rvt.Render())
+		sc, err := experiments.Scaling(*seed, []int{*n, 2 * *n, 4 * *n, 8 * *n})
+		if err != nil {
+			return fmt.Errorf("scaling: %w", err)
+		}
+		fmt.Println(sc.Render())
+		mf, err := experiments.MessageFootprint(*seed, *processN)
+		if err != nil {
+			return fmt.Errorf("message footprint: %w", err)
+		}
+		fmt.Println(mf.Render())
+		dt, err := experiments.DensityTable(*seed, *n)
+		if err != nil {
+			return fmt.Errorf("density table: %w", err)
+		}
+		fmt.Println(dt.Render())
+		bl, err := experiments.Baselines(*seed, []int{*n, 2 * *n, 4 * *n})
+		if err != nil {
+			return fmt.Errorf("baselines: %w", err)
+		}
+		fmt.Println(bl.Render())
+	}
+	return nil
+}

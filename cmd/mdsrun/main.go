@@ -1,0 +1,159 @@
+// Command mdsrun runs one of the paper's algorithms on a generated or
+// JSON-loaded graph and prints the solution, its validity, the measured
+// approximation ratio (when the instance is small enough for the exact
+// solver), and — for the distributed algorithms — the LOCAL round count.
+//
+// Usage:
+//
+//	mdsrun -alg alg1|alg1-local|d2|d2-local|tree|greedy|exact|mvc-alg1|mvc-d2 \
+//	       [-graph ding|cactus|tree|cycle|grid|outerplanar|cliquependants] \
+//	       [-in graph.json] [-n N] [-t T] [-seed S] [-r1 R] [-r2 R] [-dot out.dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"localmds/internal/core"
+	"localmds/internal/ding"
+	"localmds/internal/gen"
+	"localmds/internal/graph"
+	"localmds/internal/local"
+	"localmds/internal/mds"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "mdsrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	alg := flag.String("alg", "alg1", "algorithm: alg1|alg1-local|d2|d2-local|tree|greedy|exact|mvc-alg1|mvc-d2")
+	kind := flag.String("graph", "ding", "generator: ding|cactus|tree|cycle|grid|outerplanar|cliquependants")
+	in := flag.String("in", "", "load graph from JSON instead of generating")
+	n := flag.Int("n", 60, "target size for generated graphs")
+	tParam := flag.Int("t", 5, "K_{2,t} parameter for the ding generator")
+	seed := flag.Int64("seed", 1, "generator seed")
+	r1 := flag.Int("r1", 4, "Algorithm 1 local 1-cut radius")
+	r2 := flag.Int("r2", 4, "Algorithm 1 local 2-cut radius")
+	dotOut := flag.String("dot", "", "write the graph with the solution highlighted to this DOT file")
+	flag.Parse()
+
+	g, err := loadGraph(*in, *kind, *n, *tParam, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %s (diameter %d)\n", g, g.Diameter())
+
+	sol, stats, err := solve(g, *alg, core.Params{R1: *r1, R2: *r2})
+	if err != nil {
+		return err
+	}
+	isMVC := *alg == "mvc-alg1" || *alg == "mvc-d2"
+	fmt.Printf("algorithm: %s\nsolution size: %d\n", *alg, len(sol))
+	if isMVC {
+		fmt.Printf("valid vertex cover: %v\n", mds.IsVertexCover(g, sol))
+	} else {
+		fmt.Printf("valid dominating set: %v\n", mds.IsDominatingSet(g, sol))
+	}
+	if stats != nil {
+		fmt.Printf("LOCAL rounds: %d, messages: %d\n", stats.Rounds, stats.Messages)
+	}
+	if g.N() <= mds.MaxExactMDSVertices {
+		opt, err := optimum(g, isMVC)
+		if err == nil && opt > 0 {
+			fmt.Printf("optimum: %d, ratio: %.3f\n", opt, float64(len(sol))/float64(opt))
+		}
+	}
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(g.DOT("solution", sol)), 0o644); err != nil {
+			return fmt.Errorf("write dot: %w", err)
+		}
+		fmt.Printf("wrote %s\n", *dotOut)
+	}
+	return nil
+}
+
+// optimum computes the exact optimum for ratio reporting.
+func optimum(g *graph.Graph, isMVC bool) (int, error) {
+	if isMVC {
+		sol, err := mds.ExactMVC(g)
+		return len(sol), err
+	}
+	sol, err := mds.ExactMDS(g)
+	return len(sol), err
+}
+
+func loadGraph(in, kind string, n, tParam int, seed int64) (*graph.Graph, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadJSON(f)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "ding":
+		return ding.Generate(ding.Config{Kind: ding.Mixed, N: n, T: tParam}, rng)
+	case "cactus":
+		return gen.RandomCactus(n, rng), nil
+	case "tree":
+		return gen.RandomTree(n, rng), nil
+	case "cycle":
+		return gen.Cycle(n), nil
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		return gen.Grid(side, side), nil
+	case "outerplanar":
+		return gen.MaximalOuterplanar(n, rng), nil
+	case "cliquependants":
+		return gen.CliquePendants(n / 2), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", kind)
+	}
+}
+
+func solve(g *graph.Graph, alg string, p core.Params) ([]int, *local.Stats, error) {
+	switch alg {
+	case "alg1":
+		res, err := core.Alg1(g, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.S, nil, nil
+	case "alg1-local":
+		sol, stats, err := core.RunAlg1(g, nil, p, local.Parallel)
+		return sol, &stats, err
+	case "d2":
+		return core.D2(g).S, nil, nil
+	case "d2-local":
+		sol, stats, err := core.RunD2(g, nil, local.Parallel)
+		return sol, &stats, err
+	case "tree":
+		return core.TreeMDS(g), nil, nil
+	case "greedy":
+		return mds.GreedyMDS(g), nil, nil
+	case "exact":
+		sol, err := mds.ExactMDS(g)
+		return sol, nil, err
+	case "mvc-alg1":
+		res, err := core.MVCAlg1(g, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.S, nil, nil
+	case "mvc-d2":
+		return core.MVCD2(g).S, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown algorithm %q", alg)
+	}
+}

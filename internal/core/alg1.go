@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"localmds/internal/cuts"
+	"localmds/internal/graph"
+	"localmds/internal/mds"
+)
+
+// Alg1Result reports the outcome and diagnostics of Algorithm 1.
+type Alg1Result struct {
+	// S is the returned dominating set, in original vertex labels.
+	S []int
+	// X are the vertices of R1-local minimal 1-cuts of the twin-reduced
+	// graph; I the R2-interesting vertices of R2-local minimal 2-cuts;
+	// U the dominated vertices with no undominated neighbor (all in
+	// original labels, all subsets of the twin representatives).
+	X, I, U []int
+	// Active lists the twin-class representatives the algorithm ran on.
+	Active []int
+	// Components are the connected components of Ĝ - (X ∪ I ∪ U) that the
+	// brute-force step solved (original labels).
+	Components [][]int
+	// MaxComponentDiameter is the largest diameter among Components,
+	// measured inside the component subgraph — the Lemma 4.2 quantity.
+	MaxComponentDiameter int
+	// RoundsEstimate is the number of LOCAL rounds the distributed
+	// implementation needs on this instance: the gather phase plus the
+	// component flooding phase (see Alg1Process, which measures it for
+	// real).
+	RoundsEstimate int
+	// BruteFallbacks counts components that exceeded MaxBruteComponent
+	// and were solved greedily instead of exactly.
+	BruteFallbacks int
+}
+
+// Alg1 runs the centralized reference implementation of Algorithm 1
+// (Theorem 4.1) on g with the given radii:
+//
+//  1. reduce true twins,
+//  2. take every vertex of an R1-local minimal 1-cut,
+//  3. take every R2-interesting vertex of an R2-local minimal 2-cut,
+//  4. per component of Ĝ - (X ∪ I ∪ U), brute-force a minimum set
+//     dominating the still-undominated vertices.
+//
+// The result is always a dominating set of g; the 50-approximation
+// guarantee of the paper applies for the PaperParams radii on
+// K_{2,t}-minor-free inputs.
+func Alg1(g *graph.Graph, p Params) (*Alg1Result, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if g.N() == 0 {
+		return &Alg1Result{}, nil
+	}
+
+	reduced, active := g.TwinReduction()
+
+	// Steps 2 and 3 on the reduced graph.
+	xLocal := cuts.LocalOneCuts(reduced, p.R1)
+	iLocal := cuts.LocallyInterestingVertices(reduced, p.R2)
+	s1Local := graph.SortedUnion(xLocal, iLocal)
+
+	// Undominated vertices W and the saturated set U, inside Ĝ.
+	dominated := make([]bool, reduced.N())
+	for _, v := range s1Local {
+		for _, u := range reduced.Ball(v, 1) {
+			dominated[u] = true
+		}
+	}
+	inS1 := make([]bool, reduced.N())
+	for _, v := range s1Local {
+		inS1[v] = true
+	}
+	var uLocal []int
+	var rest []int // vertices of Ĝ - (X ∪ I ∪ U)
+	for v := 0; v < reduced.N(); v++ {
+		if inS1[v] {
+			continue
+		}
+		if dominated[v] && allDominated(reduced, v, dominated) {
+			uLocal = append(uLocal, v)
+		} else {
+			rest = append(rest, v)
+		}
+	}
+
+	res := &Alg1Result{
+		X:      mapBack(xLocal, active),
+		I:      mapBack(iLocal, active),
+		U:      mapBack(uLocal, active),
+		Active: append([]int(nil), active...),
+	}
+	sol := append([]int(nil), s1Local...)
+
+	// Step 4: per-component brute force on the undominated vertices.
+	for _, comp := range reduced.ComponentsOfSubset(rest) {
+		var target []int
+		for _, v := range comp {
+			if !dominated[v] {
+				target = append(target, v)
+			}
+		}
+		if len(target) == 0 {
+			continue
+		}
+		res.Components = append(res.Components, mapBack(comp, active))
+		sub, idx := reduced.Induced(comp)
+		if d := sub.Diameter(); d > res.MaxComponentDiameter {
+			res.MaxComponentDiameter = d
+		}
+		localTarget := relabel(target, idx)
+		var chosen []int
+		if len(comp) <= p.MaxBruteComponent {
+			chosen, err = mds.ExactBDominating(sub, localTarget)
+			if err != nil {
+				return nil, fmt.Errorf("core: brute-force component: %w", err)
+			}
+		} else {
+			res.BruteFallbacks++
+			chosen = greedyBDominating(sub, localTarget)
+		}
+		for _, v := range chosen {
+			sol = append(sol, idx[v])
+		}
+	}
+
+	res.S = mapBack(graph.Dedup(sol), active)
+	res.RoundsEstimate = p.GatherRadius() + 2 + res.MaxComponentDiameter + 1
+	return res, nil
+}
+
+// allDominated reports whether every neighbor of v (and v itself) is
+// dominated.
+func allDominated(g *graph.Graph, v int, dominated []bool) bool {
+	if !dominated[v] {
+		return false
+	}
+	for _, u := range g.Neighbors(v) {
+		if !dominated[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// mapBack converts reduced-graph indices to original labels.
+func mapBack(local []int, active []int) []int {
+	out := make([]int, 0, len(local))
+	for _, v := range local {
+		out = append(out, active[v])
+	}
+	sort.Ints(out)
+	return out
+}
+
+// relabel converts component-graph labels: target holds reduced-graph
+// indices, idx maps component-local index -> reduced index.
+func relabel(target, idx []int) []int {
+	pos := make(map[int]int, len(idx))
+	for i, v := range idx {
+		pos[v] = i
+	}
+	out := make([]int, 0, len(target))
+	for _, v := range target {
+		out = append(out, pos[v])
+	}
+	sort.Ints(out)
+	return out
+}
+
+// greedyBDominating is the fallback solver for oversized components: the
+// classical greedy cover of the target set.
+func greedyBDominating(g *graph.Graph, target []int) []int {
+	need := make(map[int]bool, len(target))
+	for _, v := range target {
+		need[v] = true
+	}
+	var sol []int
+	for len(need) > 0 {
+		bestV, bestGain := -1, 0
+		for v := 0; v < g.N(); v++ {
+			gain := 0
+			for _, u := range g.Ball(v, 1) {
+				if need[u] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestV, bestGain = v, gain
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		sol = append(sol, bestV)
+		for _, u := range g.Ball(bestV, 1) {
+			delete(need, u)
+		}
+	}
+	sort.Ints(sol)
+	return sol
+}

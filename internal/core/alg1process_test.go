@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"localmds/internal/ding"
+	"localmds/internal/gen"
+	"localmds/internal/graph"
+	"localmds/internal/local"
+	"localmds/internal/mds"
+)
+
+func TestRunAlg1MatchesCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", gen.Path(14)},
+		{"cycle", gen.Cycle(12)},
+		{"tree", gen.RandomTree(20, rng)},
+		{"cactus", gen.RandomCactus(18, rng)},
+		{"cliquependants", gen.CliquePendants(5)},
+		{"ding", ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: 20, T: 5}, rng)},
+		{"twins", gen.Complete(5)},
+	}
+	p := Params{R1: 3, R2: 3}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			want, err := Alg1(tt.g, p)
+			if err != nil {
+				t.Fatalf("Alg1: %v", err)
+			}
+			got, stats, err := RunAlg1(tt.g, nil, p, local.Sequential)
+			if err != nil {
+				t.Fatalf("RunAlg1: %v", err)
+			}
+			if !graph.EqualSets(got, want.S) {
+				t.Errorf("process = %v, centralized = %v", got, want.S)
+			}
+			if stats.Rounds > want.RoundsEstimate {
+				t.Errorf("rounds %d exceed estimate %d", stats.Rounds, want.RoundsEstimate)
+			}
+		})
+	}
+}
+
+func TestRunAlg1EnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: 24, T: 5}, rng)
+	p := Params{R1: 3, R2: 3}
+	a, sa, err := RunAlg1(g, nil, p, local.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := RunAlg1(g, nil, p, local.Parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.EqualSets(a, b) {
+		t.Errorf("engines disagree: %v vs %v", a, b)
+	}
+	if sa != sb {
+		t.Errorf("stats differ: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestRunAlg1PermutedIDs(t *testing.T) {
+	// With permuted identifiers the tie-breaking changes, so the set may
+	// differ from the centralized reference — but it must still dominate
+	// and have the same size class (both are outputs of the same
+	// brute-force optimum per component plus identical cut phases; only
+	// twin representatives differ).
+	g := gen.CliquePendants(5)
+	n := g.N()
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = (i*7 + 3) % (n * 7)
+	}
+	// Ensure distinct; (i*7+3) mod 63 for i < 9 is injective.
+	got, _, err := RunAlg1(g, ids, Params{R1: 3, R2: 3}, local.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mds.IsDominatingSet(g, got) {
+		t.Errorf("permuted-id run returned non-dominating %v", got)
+	}
+}
+
+func TestRunAlg1RoundsScaleWithRadius(t *testing.T) {
+	g := gen.Path(40)
+	small, ssmall, err := RunAlg1(g, nil, Params{R1: 2, R2: 2}, local.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, slarge, err := RunAlg1(g, nil, Params{R1: 6, R2: 6}, local.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mds.IsDominatingSet(g, small) || !mds.IsDominatingSet(g, large) {
+		t.Fatal("not dominating")
+	}
+	if ssmall.Rounds >= slarge.Rounds {
+		t.Errorf("rounds should grow with radius: %d vs %d", ssmall.Rounds, slarge.Rounds)
+	}
+}
+
+func TestRunAlg1SingletonAndTiny(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		g := gen.Path(n)
+		got, _, err := RunAlg1(g, nil, Params{R1: 2, R2: 2}, local.Sequential)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !mds.IsDominatingSet(g, got) {
+			t.Errorf("n=%d: %v not dominating", n, got)
+		}
+	}
+}

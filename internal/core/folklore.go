@@ -1,0 +1,213 @@
+package core
+
+import (
+	"localmds/internal/graph"
+	"localmds/internal/local"
+	"localmds/internal/mds"
+)
+
+// TreeMDS is the folklore 3-approximation for MDS on trees (Table 1, first
+// row): with at least three vertices, take every vertex of degree at least
+// two. The centralized reference also handles the degenerate sizes (n <= 2)
+// the folklore statement assumes away.
+func TreeMDS(g *graph.Graph) []int {
+	switch g.N() {
+	case 0:
+		return nil
+	case 1:
+		return []int{0}
+	}
+	var s []int
+	for v := 0; v < g.N(); v++ {
+		switch {
+		case g.Degree(v) >= 2:
+			s = append(s, v)
+		case g.Degree(v) == 0:
+			s = append(s, v) // isolated vertices must self-dominate
+		case g.N() == 2 && v == 0:
+			s = append(s, v) // a single edge: take the smaller endpoint
+		}
+	}
+	// Two-vertex components (an edge both of whose endpoints have degree
+	// one) need one endpoint: take the smaller.
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 1 {
+			u := g.Neighbors(v)[0]
+			if g.Degree(u) == 1 && v < u && !graph.SortedContains(s, v) {
+				s = graph.SortedUnion(s, []int{v})
+			}
+		}
+	}
+	return s
+}
+
+// treeMDSProcess is the 2-round distributed tree algorithm: round 1
+// announce your identifier; round 2 count the announcements (your degree)
+// and decide. Matching footnote 3 of the paper, the two rounds come from
+// vertices not knowing their degree initially.
+type treeMDSProcess struct {
+	info local.NodeInfo
+	inS  bool
+}
+
+// NewTreeMDSProcess returns the folklore tree process (boolean outputs).
+func NewTreeMDSProcess() local.Process { return &treeMDSProcess{} }
+
+func (p *treeMDSProcess) Init(info local.NodeInfo) { p.info = info }
+
+func (p *treeMDSProcess) Round(round int, inbox []local.Message) ([]local.Message, bool) {
+	if round == 1 {
+		if p.info.Ports == 0 {
+			p.inS = true // isolated: dominate yourself, done
+			return nil, true
+		}
+		return local.Broadcast(p.info.Ports, p.info.ID), false
+	}
+	deg := 0
+	minNbr := -1
+	for _, m := range inbox {
+		if id, ok := m.(int); ok {
+			deg++
+			if minNbr < 0 || id < minNbr {
+				minNbr = id
+			}
+		}
+	}
+	switch {
+	case deg >= 2:
+		p.inS = true
+	case deg == 1:
+		// Leaf: join only if the single neighbor is also a leaf-like
+		// two-vertex component; detectable when N == 2.
+		p.inS = p.info.N == 2 && p.info.ID < minNbr
+	}
+	return nil, true
+}
+
+func (p *treeMDSProcess) Output() any { return p.inS }
+
+// RunTreeMDS executes the distributed tree algorithm.
+func RunTreeMDS(g *graph.Graph, ids []int, engine local.Engine) ([]int, local.Stats, error) {
+	return runBooleanProcess(g, ids, engine, func(int) local.Process { return NewTreeMDSProcess() })
+}
+
+// TakeAllMDS is the folklore K_{1,t}-minor-free row of Table 1: return
+// every vertex. On graphs of maximum degree Δ <= t-1 this is a 0-round
+// t-approximation, since any dominating set has size at least n/(Δ+1).
+func TakeAllMDS(g *graph.Graph) []int {
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// takeAllProcess outputs true without communicating (the simulator charges
+// one silent round for the deciding step).
+type takeAllProcess struct{}
+
+// NewTakeAllProcess returns the 0-communication take-all process.
+func NewTakeAllProcess() local.Process { return takeAllProcess{} }
+
+func (takeAllProcess) Init(local.NodeInfo) {}
+func (takeAllProcess) Round(int, []local.Message) ([]local.Message, bool) {
+	return nil, true
+}
+func (takeAllProcess) Output() any { return true }
+
+// RegularMVC is the 0-round 2-approximation for vertex cover on regular
+// graphs (§1): take every non-isolated vertex.
+func RegularMVC(g *graph.Graph) []int {
+	var s []int
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) > 0 {
+			s = append(s, v)
+		}
+	}
+	return s
+}
+
+// ExactByGathering is the footnote-2 algorithm: on a diameter-D graph,
+// gather everything in D+2 rounds and solve exactly and consistently. The
+// centralized reference returns the exact MDS; RunExactGather measures the
+// rounds.
+func ExactByGathering(g *graph.Graph) ([]int, error) {
+	return mds.ExactMDS(g)
+}
+
+// exactGatherProcess gathers until its view is closed (no vertex with
+// unresolved adjacency), then solves MDS on the collected graph.
+type exactGatherProcess struct {
+	g    local.Gatherer
+	info local.NodeInfo
+	inS  bool
+}
+
+// NewExactGatherProcess returns the whole-graph-gathering exact process.
+func NewExactGatherProcess() local.Process { return &exactGatherProcess{} }
+
+func (p *exactGatherProcess) Init(info local.NodeInfo) {
+	p.info = info
+	p.g.Init(info)
+}
+
+func (p *exactGatherProcess) Round(round int, inbox []local.Message) ([]local.Message, bool) {
+	out := p.g.Step(round, inbox)
+	if round < 3 {
+		return out, false
+	}
+	view := p.g.View()
+	// Closed: every identifier referenced in an adjacency list has its own
+	// adjacency resolved.
+	for _, nbrs := range view.Adj {
+		for _, u := range nbrs {
+			if _, ok := view.Adj[u]; !ok {
+				return out, false
+			}
+		}
+	}
+	// One extra quiet round guarantees every other vertex also closed...
+	// not needed for correctness: the solve is deterministic on identical
+	// views, and all vertices of a connected graph close on the same
+	// complete view.
+	bg, _, center := view.Graph()
+	sol, err := mds.ExactMDS(bg)
+	if err != nil {
+		// Too large for the exact solver: fall back to greedy, still
+		// consistent across vertices.
+		sol = mds.GreedyMDS(bg)
+	}
+	for _, v := range sol {
+		if v == center {
+			p.inS = true
+		}
+	}
+	return out, true
+}
+
+func (p *exactGatherProcess) Output() any { return p.inS }
+
+// RunExactGather executes the footnote-2 exact algorithm.
+func RunExactGather(g *graph.Graph, ids []int, engine local.Engine) ([]int, local.Stats, error) {
+	return runBooleanProcess(g, ids, engine, func(int) local.Process { return NewExactGatherProcess() })
+}
+
+// runBooleanProcess runs a boolean-output protocol and collects the chosen
+// vertex set.
+func runBooleanProcess(g *graph.Graph, ids []int, engine local.Engine, factory local.Factory) ([]int, local.Stats, error) {
+	nw, err := local.NewNetwork(g, ids)
+	if err != nil {
+		return nil, local.Stats{}, err
+	}
+	res, err := nw.Run(engine, factory, 0)
+	if err != nil {
+		return nil, local.Stats{}, err
+	}
+	var s []int
+	for v, out := range res.Outputs {
+		if in, ok := out.(bool); ok && in {
+			s = append(s, v)
+		}
+	}
+	return s, res.Stats, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"localmds/internal/gen"
+	"localmds/internal/graph"
+	"localmds/internal/local"
+	"localmds/internal/mds"
+)
+
+func TestTreeMDSKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want []int
+	}{
+		{"empty", graph.New(0), nil},
+		{"single", gen.Path(1), []int{0}},
+		{"edge", gen.Path(2), []int{0}},
+		{"path5", gen.Path(5), []int{1, 2, 3}},
+		{"star", gen.Star(5), []int{0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := TreeMDS(tt.g)
+			if !graph.EqualSets(graph.Dedup(got), graph.Dedup(tt.want)) {
+				t.Errorf("TreeMDS = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTreeMDSRatioOnTrees(t *testing.T) {
+	// The folklore bound: 3-approximation on trees with >= 3 vertices.
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomTree(30, rng)
+		s := TreeMDS(g)
+		if !mds.IsDominatingSet(g, s) {
+			t.Fatalf("seed %d: not dominating", seed)
+		}
+		opt, err := mds.ExactMDS(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s) > 3*len(opt) {
+			t.Errorf("seed %d: |S| = %d > 3 OPT = %d", seed, len(s), 3*len(opt))
+		}
+	}
+}
+
+func TestRunTreeMDSTwoRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.RandomTree(25, rng)
+	got, stats, err := RunTreeMDS(g, nil, local.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2 (footnote 3 of the paper)", stats.Rounds)
+	}
+	want := TreeMDS(g)
+	if !graph.EqualSets(got, want) {
+		t.Errorf("process = %v, centralized = %v", got, want)
+	}
+}
+
+func TestRunTreeMDSSingleton(t *testing.T) {
+	got, stats, err := RunTreeMDS(gen.Path(1), nil, local.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || stats.Rounds != 1 {
+		t.Errorf("singleton: set %v rounds %d", got, stats.Rounds)
+	}
+}
+
+func TestTakeAllMDS(t *testing.T) {
+	g := gen.Star(3) // max degree 3: K_{1,4}-minor-free-ish bound
+	s := TakeAllMDS(g)
+	if len(s) != g.N() {
+		t.Errorf("TakeAllMDS returned %d of %d", len(s), g.N())
+	}
+	if !mds.IsDominatingSet(g, s) {
+		t.Error("not dominating")
+	}
+	// Folklore ratio on bounded-degree graphs: n <= (Δ+1) OPT.
+	opt, err := mds.ExactMDS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) > (g.MaxDegree()+1)*len(opt) {
+		t.Errorf("take-all bound violated: %d > %d", len(s), (g.MaxDegree()+1)*len(opt))
+	}
+}
+
+func TestTakeAllProcessSilent(t *testing.T) {
+	g := gen.Cycle(8)
+	nw, err := local.NewNetwork(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nw.Run(local.Sequential, func(int) local.Process { return NewTakeAllProcess() }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Messages != 0 {
+		t.Errorf("take-all sent %d messages, want 0", res.Stats.Messages)
+	}
+	if res.Stats.Rounds != 1 {
+		t.Errorf("rounds = %d (one silent deciding step)", res.Stats.Rounds)
+	}
+}
+
+func TestRegularMVC(t *testing.T) {
+	g, err := gen.RegularLike(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RegularMVC(g)
+	if !mds.IsVertexCover(g, s) {
+		t.Fatal("not a cover")
+	}
+	opt, err := mds.ExactMVC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) > 2*len(opt) {
+		t.Errorf("regular MVC bound violated: %d > 2x%d", len(s), len(opt))
+	}
+}
+
+func TestRunExactGather(t *testing.T) {
+	g := gen.Cycle(9)
+	got, stats, err := RunExactGather(g, nil, local.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mds.IsDominatingSet(g, got) {
+		t.Fatal("not dominating")
+	}
+	opt, err := mds.ExactMDS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(opt) {
+		t.Errorf("|S| = %d, want OPT = %d", len(got), len(opt))
+	}
+	// Footnote 2: a diameter-D graph needs ~D rounds; our gather protocol
+	// costs diameter+2.
+	if want := g.Diameter() + 2; stats.Rounds != want {
+		t.Errorf("rounds = %d, want %d", stats.Rounds, want)
+	}
+}
+
+// Property: the exact-gather process is exactly optimal on small connected
+// graphs.
+func TestRunExactGatherOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.GNPConnected(12, 0.2, rng)
+		got, _, err := RunExactGather(g, nil, local.Sequential)
+		if err != nil {
+			return false
+		}
+		opt, err := mds.ExactMDS(g)
+		if err != nil {
+			return false
+		}
+		return mds.IsDominatingSet(g, got) && len(got) == len(opt)
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

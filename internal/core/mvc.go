@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sort"
+
+	"localmds/internal/cuts"
+	"localmds/internal/graph"
+	"localmds/internal/mds"
+)
+
+// MVCResult reports a vertex-cover algorithm's outcome.
+type MVCResult struct {
+	// S is the returned vertex cover (original labels).
+	S []int
+	// X are local 1-cut vertices, C2 the local 2-cut vertices taken
+	// (Algorithm 1 variant only).
+	X, C2 []int
+	// Components brute-forced (Algorithm 1 variant only).
+	Components [][]int
+	// MaxComponentDiameter as in Alg1Result.
+	MaxComponentDiameter int
+}
+
+// MVCAlg1 is the Minimum Vertex Cover variant of Algorithm 1 described
+// after Theorem 4.3: take all vertices of R1-local minimal 1-cuts, all
+// vertices of R2-local minimal 2-cuts (not only interesting ones), and
+// cover the remaining uncovered edges per residual component exactly.
+// Unlike the MDS variant it needs no twin reduction: covering is monotone
+// under vertex removal.
+func MVCAlg1(g *graph.Graph, p Params) (*MVCResult, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	x := cuts.LocalOneCuts(g, p.R1)
+	var c2 []int
+	{
+		seen := make(map[int]bool)
+		for _, c := range cuts.LocalTwoCuts(g, p.R2) {
+			seen[c.U] = true
+			seen[c.V] = true
+		}
+		for v := range seen {
+			c2 = append(c2, v)
+		}
+		sort.Ints(c2)
+	}
+	s1 := graph.SortedUnion(x, c2)
+	res := &MVCResult{X: x, C2: c2}
+
+	inS1 := make([]bool, g.N())
+	for _, v := range s1 {
+		inS1[v] = true
+	}
+	// Residual vertices incident to an uncovered edge.
+	var rest []int
+	for v := 0; v < g.N(); v++ {
+		if inS1[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if !inS1[u] {
+				rest = append(rest, v)
+				break
+			}
+		}
+	}
+	sol := append([]int(nil), s1...)
+	for _, comp := range g.ComponentsOfSubset(rest) {
+		res.Components = append(res.Components, comp)
+		sub, idx := g.Induced(comp)
+		if d := sub.Diameter(); d > res.MaxComponentDiameter {
+			res.MaxComponentDiameter = d
+		}
+		var chosen []int
+		if len(comp) <= p.MaxBruteComponent {
+			chosen, err = mds.ExactMVC(sub)
+			if err != nil {
+				chosen = mds.MatchingVertexCover(sub)
+			}
+		} else {
+			chosen = mds.MatchingVertexCover(sub)
+		}
+		for _, v := range chosen {
+			sol = append(sol, idx[v])
+		}
+	}
+	res.S = graph.Dedup(sol)
+	return res, nil
+}
+
+// MVCD2 is the Theorem 4.4 vertex-cover variant (the paper states a
+// t-approximation in 3 rounds and omits the proof; this is the natural
+// analogue): reduce true twins, then take every vertex that is incident to
+// an edge and whose closed neighborhood is not contained in a neighbor's
+// (γ(v) >= 2 restricted to non-isolated vertices), plus, for covered
+// correctness, the smaller-identifier endpoint of any edge both of whose
+// endpoints were rejected.
+func MVCD2(g *graph.Graph) *MVCResult {
+	reduced, active := g.TwinReduction()
+	take := make([]bool, reduced.N())
+	for v := 0; v < reduced.N(); v++ {
+		if reduced.Degree(v) > 0 && gammaAtLeastTwo(reduced, v) {
+			take[v] = true
+		}
+	}
+	// Repair pass, radius 1 and simultaneous (hence LOCAL-computable): a
+	// rejected vertex joins when it has a rejected neighbor with a larger
+	// label, covering every doubly rejected edge by its smaller endpoint.
+	repaired := repairUncoveredEdges(reduced, take)
+	var sLocal []int
+	for v, ok := range repaired {
+		if ok {
+			sLocal = append(sLocal, v)
+		}
+	}
+	// Map back to g and repair edges involving removed twins the same way
+	// (a removed twin x of representative u has N[x] = N[u], so edges at x
+	// mirror edges at u).
+	cover := mapBack(sLocal, active)
+	inCover := make([]bool, g.N())
+	for _, v := range cover {
+		inCover[v] = true
+	}
+	inCover = repairUncoveredEdges(g, inCover)
+	var s []int
+	for v, ok := range inCover {
+		if ok {
+			s = append(s, v)
+		}
+	}
+	return &MVCResult{S: s}
+}
+
+// repairUncoveredEdges returns take plus, for every edge with both
+// endpoints rejected, the smaller endpoint. All decisions read the input
+// state only, so the pass is a single simultaneous LOCAL round.
+func repairUncoveredEdges(g *graph.Graph, take []bool) []bool {
+	out := append([]bool(nil), take...)
+	for v := 0; v < g.N(); v++ {
+		if take[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if !take[u] && v < u {
+				out[v] = true
+				break
+			}
+		}
+	}
+	return out
+}

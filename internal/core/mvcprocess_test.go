@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"localmds/internal/ding"
+	"localmds/internal/gen"
+	"localmds/internal/graph"
+	"localmds/internal/local"
+	"localmds/internal/mds"
+)
+
+func TestRunMVCD2MatchesCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", gen.Path(12)},
+		{"cycle", gen.Cycle(9)},
+		{"triangle", gen.Complete(3)},
+		{"complete", gen.Complete(5)},
+		{"cactus", gen.RandomCactus(25, rng)},
+		{"ding", ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: 30, T: 4}, rng)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			want := MVCD2(tt.g)
+			got, stats, err := RunMVCD2(tt.g, nil, local.Sequential)
+			if err != nil {
+				t.Fatalf("RunMVCD2: %v", err)
+			}
+			if !graph.EqualSets(got, want.S) {
+				t.Errorf("process = %v, centralized = %v", got, want.S)
+			}
+			if stats.Rounds != MVCD2GatherRounds {
+				t.Errorf("rounds = %d, want %d", stats.Rounds, MVCD2GatherRounds)
+			}
+		})
+	}
+}
+
+func TestRunMVCAlg1IsCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path", gen.Path(14)},
+		{"cycle", gen.Cycle(11)},
+		{"cactus", gen.RandomCactus(20, rng)},
+		{"ding", ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: 24, T: 5}, rng)},
+	}
+	p := Params{R1: 3, R2: 3}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, _, err := RunMVCAlg1(tt.g, nil, p, local.Sequential)
+			if err != nil {
+				t.Fatalf("RunMVCAlg1: %v", err)
+			}
+			if !mds.IsVertexCover(tt.g, got) {
+				t.Errorf("process output %v is not a cover", got)
+			}
+		})
+	}
+}
+
+func TestRunMVCAlg1MatchesCentralized(t *testing.T) {
+	// The process and the centralized variant use the same cut sets and
+	// the same exact solver; with identity identifiers the residual
+	// component instances coincide, so outputs are equal.
+	rng := rand.New(rand.NewSource(59))
+	p := Params{R1: 3, R2: 3}
+	for i := 0; i < 4; i++ {
+		g := gen.RandomCactus(18, rng)
+		want, err := MVCAlg1(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := RunMVCAlg1(g, nil, p, local.Sequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.EqualSets(got, want.S) {
+			t.Errorf("instance %d: process %v vs centralized %v", i, got, want.S)
+		}
+	}
+}
+
+func TestRunMVCEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: 30, T: 5}, rng)
+	a, _, err := RunMVCD2(g, nil, local.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunMVCD2(g, nil, local.Parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.EqualSets(a, b) {
+		t.Error("MVCD2 engines disagree")
+	}
+	c, _, err := RunMVCAlg1(g, nil, Params{R1: 3, R2: 3}, local.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := RunMVCAlg1(g, nil, Params{R1: 3, R2: 3}, local.Parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.EqualSets(c, d) {
+		t.Error("MVCAlg1 engines disagree")
+	}
+}
+
+// Property: both distributed MVC variants return covers on random graphs.
+func TestRunMVCCoversProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.GNPConnected(16, 0.15, rng)
+		a, _, err := RunMVCD2(g, nil, local.Sequential)
+		if err != nil || !mds.IsVertexCover(g, a) {
+			return false
+		}
+		b, _, err := RunMVCAlg1(g, nil, Params{R1: 2, R2: 2}, local.Sequential)
+		return err == nil && mds.IsVertexCover(g, b)
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

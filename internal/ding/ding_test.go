@@ -1,0 +1,322 @@
+package ding
+
+import (
+	"math/rand"
+	"testing"
+
+	"localmds/internal/graph"
+	"localmds/internal/minor"
+)
+
+func TestNewFan(t *testing.T) {
+	f, err := NewFan(5)
+	if err != nil {
+		t.Fatalf("NewFan: %v", err)
+	}
+	if f.G.N() != 6 {
+		t.Errorf("fan N = %d, want 6", f.G.N())
+	}
+	// Center adjacent to every path vertex.
+	if f.G.Degree(f.Center) != 5 {
+		t.Errorf("center degree = %d, want 5", f.G.Degree(f.Center))
+	}
+	if len(f.Corners()) != 3 {
+		t.Errorf("Corners() = %v", f.Corners())
+	}
+	if _, err := NewFan(1); err == nil {
+		t.Error("NewFan(1) accepted")
+	}
+}
+
+func TestFanIsK23Free(t *testing.T) {
+	for length := 2; length <= 9; length++ {
+		f, err := NewFan(length)
+		if err != nil {
+			t.Fatalf("NewFan(%d): %v", length, err)
+		}
+		_, ok, err := minor.HasK2tMinor(f.G, 3)
+		if err != nil {
+			t.Fatalf("minor test: %v", err)
+		}
+		if ok {
+			t.Errorf("fan of length %d has a K_{2,3} minor", length)
+		}
+	}
+}
+
+func TestNewStrip(t *testing.T) {
+	s, err := NewStrip(4)
+	if err != nil {
+		t.Fatalf("NewStrip: %v", err)
+	}
+	if s.G.N() != 8 {
+		t.Errorf("strip N = %d, want 8", s.G.N())
+	}
+	// 4 rungs + 2*3 path edges = 10 edges.
+	if s.G.M() != 10 {
+		t.Errorf("strip M = %d, want 10", s.G.M())
+	}
+	if len(s.Corners()) != 4 {
+		t.Errorf("Corners() = %v", s.Corners())
+	}
+	if _, err := NewStrip(1); err == nil {
+		t.Error("NewStrip(1) accepted")
+	}
+}
+
+func TestStripIsK25Free(t *testing.T) {
+	// Ding proves strips exclude K_{2,5}; verify exactly for small strips.
+	for rungs := 2; rungs <= 6; rungs++ {
+		s, err := NewStrip(rungs)
+		if err != nil {
+			t.Fatalf("NewStrip(%d): %v", rungs, err)
+		}
+		_, ok, err := minor.HasK2tMinor(s.G, 5)
+		if err != nil {
+			t.Fatalf("minor test: %v", err)
+		}
+		if ok {
+			t.Errorf("strip with %d rungs has a K_{2,5} minor", rungs)
+		}
+	}
+}
+
+func TestStripRadius(t *testing.T) {
+	tests := []struct {
+		rungs, want int
+	}{
+		{2, 0}, // every vertex is a corner
+		{4, 1}, // middle rungs are 1 away from a corner
+		{8, 3},
+		{10, 4},
+	}
+	for _, tt := range tests {
+		s, err := NewStrip(tt.rungs)
+		if err != nil {
+			t.Fatalf("NewStrip(%d): %v", tt.rungs, err)
+		}
+		if got := s.Radius(); got != tt.want {
+			t.Errorf("Radius(%d rungs) = %d, want %d", tt.rungs, got, tt.want)
+		}
+	}
+}
+
+func TestVerifyTypeIAcceptsFanAndStrip(t *testing.T) {
+	// A fan's reference cycle: center, then the path.
+	f, err := NewFan(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTypeI(f.G, []int{0, 1, 2, 3, 4, 5}); err != nil {
+		t.Errorf("fan rejected as type-I: %v", err)
+	}
+	// A strip's reference cycle: top path forward, bottom path backward.
+	s, err := NewStrip(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []int{0, 2, 4, 6, 7, 5, 3, 1}
+	if err := VerifyTypeI(s.G, order); err != nil {
+		t.Errorf("strip rejected as type-I: %v", err)
+	}
+}
+
+func TestVerifyTypeIRejects(t *testing.T) {
+	// C8 with chords {0,4} and {2,6}: the chords cross but none of the
+	// endpoint pairs (0,2), (4,6), (0,6), (4,2) is... (0,6)? 0 and 6 are
+	// not cycle-adjacent in C8 (distance 2), so the crossing condition
+	// fails.
+	g := graph.New(8)
+	for i := 0; i < 8; i++ {
+		g.AddEdge(i, (i+1)%8)
+	}
+	g.AddEdge(0, 4)
+	g.AddEdge(2, 6)
+	order := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if err := VerifyTypeI(g, order); err == nil {
+		t.Error("crossing long chords accepted as type-I")
+	}
+	// Wrong cycle order (not Hamiltonian in g).
+	if err := VerifyTypeI(g, []int{0, 2, 4, 1, 3, 5}); err == nil {
+		t.Error("non-Hamiltonian order accepted")
+	}
+	// Not a permutation.
+	if err := VerifyTypeI(g, []int{0, 0, 2, 3, 4, 5}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	// Wrong length.
+	if err := VerifyTypeI(g, []int{0, 1, 2}); err == nil {
+		t.Error("short order accepted")
+	}
+}
+
+func TestVerifyTypeIAllowsAdjacentCrossings(t *testing.T) {
+	// C5 with chords {0,2} and {1,3}: they cross, and 0-1, 2-3 are cycle
+	// edges, satisfying the crossing condition.
+	g := graph.New(5)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)
+	}
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	if err := VerifyTypeI(g, []int{0, 1, 2, 3, 4}); err != nil {
+		t.Errorf("adjacent crossing chords rejected: %v", err)
+	}
+}
+
+func TestVerifyTypeIRejectsTripleCross(t *testing.T) {
+	// C6 with chords 0-2, 1-3, and 1-4: chord 1-3 would cross 0-2 (allowed
+	// pairwise) but adding 0-4 crossing 1-3 too means chord 1-3 crosses 2.
+	g := graph.New(6)
+	for i := 0; i < 6; i++ {
+		g.AddEdge(i, (i+1)%6)
+	}
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 4)
+	if err := VerifyTypeI(g, []int{0, 1, 2, 3, 4, 5}); err == nil {
+		t.Error("chord crossing two chords accepted")
+	}
+}
+
+func TestAugment(t *testing.T) {
+	base := graph.New(4)
+	base.AddEdge(0, 1)
+	base.AddEdge(1, 2)
+	base.AddEdge(2, 3)
+	f, err := NewFan(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStrip(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, err := Augment(base, []*Attachment{
+		{Fan: f, At: []int{0, 1, 2}},
+		{Strip: s, At: []int{0, 1, 2, 3}},
+	})
+	if err != nil {
+		t.Fatalf("Augment: %v", err)
+	}
+	// Fan adds 4 vertices minus 3 identified corners = 1 new vertex;
+	// strip adds 6 minus 4 = 2 new vertices.
+	if aug.N() != 4+1+2 {
+		t.Errorf("augmented N = %d, want 7", aug.N())
+	}
+	if err := aug.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAugmentErrors(t *testing.T) {
+	base := graph.New(3)
+	f, err := NewFan(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Augment(base, []*Attachment{{Fan: f, At: []int{0, 1}}}); err == nil {
+		t.Error("wrong anchor count accepted")
+	}
+	if _, err := Augment(base, []*Attachment{{Fan: f, At: []int{0, 1, 7}}}); err == nil {
+		t.Error("out-of-range anchor accepted")
+	}
+	if _, err := Augment(base, []*Attachment{{Fan: f, At: []int{0, 1, 1}}}); err == nil {
+		t.Error("duplicate anchor accepted")
+	}
+}
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []WorkloadKind{BlockForest, StripChain, Mixed} {
+		rng := rand.New(rand.NewSource(11))
+		g, err := Generate(Config{Kind: kind, N: 120, T: 5}, rng)
+		if err != nil {
+			t.Fatalf("Generate(kind %d): %v", kind, err)
+		}
+		if g.N() < 120 {
+			t.Errorf("kind %d: N = %d < 120", kind, g.N())
+		}
+		if !g.Connected() {
+			t.Errorf("kind %d: not connected", kind)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("kind %d: Validate: %v", kind, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(Config{Kind: BlockForest, N: 10, T: 2}, rng); err == nil {
+		t.Error("T = 2 accepted")
+	}
+	if _, err := Generate(Config{Kind: BlockForest, N: 1, T: 3}, rng); err == nil {
+		t.Error("N = 1 accepted")
+	}
+	if _, err := Generate(Config{Kind: 99, N: 10, T: 3}, rng); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Config{Kind: Mixed, N: 60, T: 5}, rand.New(rand.NewSource(5)))
+	b := MustGenerate(Config{Kind: Mixed, N: 60, T: 5}, rand.New(rand.NewSource(5)))
+	if !a.Equal(b) {
+		t.Error("same seed produced different graphs")
+	}
+}
+
+// TestGenerateIsK2tFree cross-checks the freeness-by-construction argument
+// with the exact minor tester at small sizes.
+func TestGenerateIsK2tFree(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		for _, kind := range []WorkloadKind{BlockForest, StripChain, Mixed} {
+			rng := rand.New(rand.NewSource(seed))
+			g, err := Generate(Config{Kind: kind, N: 10, T: 5}, rng)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if g.N() > 15 {
+				continue // gadget overshoot; exact check too slow
+			}
+			_, ok, err := minor.HasK2tMinor(g, 5)
+			if err != nil {
+				t.Fatalf("minor test: %v", err)
+			}
+			if ok {
+				t.Errorf("seed %d kind %d: generated graph has K_{2,5} minor", seed, kind)
+			}
+		}
+	}
+}
+
+// TestGenerateSmallTIsK23Free checks that with T = 3 the generator avoids
+// strips and the result is K_{2,3}-minor-free.
+func TestGenerateSmallTIsK23Free(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := Generate(Config{Kind: Mixed, N: 10, T: 3}, rng)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		if g.N() > 15 {
+			continue
+		}
+		_, ok, err := minor.HasK2tMinor(g, 3)
+		if err != nil {
+			t.Fatalf("minor test: %v", err)
+		}
+		if ok {
+			t.Errorf("seed %d: T=3 graph has K_{2,3} minor", seed)
+		}
+	}
+}
+
+func TestStripChainAnchorsAdvance(t *testing.T) {
+	// The strip chain must be a chain, not a bouquet: its diameter grows
+	// with N.
+	g := MustGenerate(Config{Kind: StripChain, N: 80, T: 5}, rand.New(rand.NewSource(3)))
+	if d := g.Diameter(); d < 15 {
+		t.Errorf("strip chain diameter = %d, want >= 15", d)
+	}
+}

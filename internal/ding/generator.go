@@ -1,0 +1,209 @@
+package ding
+
+import (
+	"fmt"
+	"math/rand"
+
+	"localmds/internal/graph"
+)
+
+// WorkloadKind selects the flavor of K_{2,t}-minor-free instance produced
+// by Generate.
+type WorkloadKind int
+
+// Workload kinds. BlockForest glues small 2-connected blocks at cut
+// vertices (rich in 1-cuts); StripChain concatenates long strips and fans
+// (rich in local 2-cuts, the Lemma 4.2 regime); Mixed interleaves both plus
+// pendant trees.
+const (
+	BlockForest WorkloadKind = iota + 1
+	StripChain
+	Mixed
+)
+
+// Config parameterizes Generate.
+type Config struct {
+	Kind WorkloadKind
+	// N is the approximate target vertex count (the generator stops once
+	// it reaches or exceeds it).
+	N int
+	// T is the K_{2,t} parameter the instance must exclude; must be >= 3.
+	// Blocks use only gadgets that are provably K_{2,min(5,t)}-minor-free
+	// (fans and cycles are K_{2,3}-free; ladder strips are K_{2,5}-free
+	// per Ding), so every generated graph excludes K_{2,t}.
+	T int
+}
+
+// Generate returns a connected K_{2,t}-minor-free graph per cfg.
+//
+// Freeness argument: every gadget used (cycle, fan, ladder strip, tree
+// edge) is K_{2,3}- or K_{2,5}-minor-free, and gadgets are glued only at
+// single cut vertices. K_{2,t} (t >= 2) is 2-connected, so any K_{2,t}
+// minor model would have to live inside a single block of the result; every
+// block is a gadget, hence free for t >= 5 (and for t >= 3 when cfg.T < 5,
+// where strips are replaced by fans). Tests cross-check with the exact
+// minor tester on small instances.
+func Generate(cfg Config, rng *rand.Rand) (*graph.Graph, error) {
+	if cfg.T < 3 {
+		return nil, fmt.Errorf("ding: config T = %d < 3", cfg.T)
+	}
+	if cfg.N < 3 {
+		return nil, fmt.Errorf("ding: config N = %d < 3", cfg.N)
+	}
+	switch cfg.Kind {
+	case BlockForest:
+		return generateBlockForest(cfg, rng), nil
+	case StripChain:
+		return generateStripChain(cfg, rng), nil
+	case Mixed:
+		return generateMixed(cfg, rng), nil
+	default:
+		return nil, fmt.Errorf("ding: unknown workload kind %d", cfg.Kind)
+	}
+}
+
+// MustGenerate is Generate for benchmarks with static configs; it panics on
+// config errors.
+func MustGenerate(cfg Config, rng *rand.Rand) *graph.Graph {
+	g, err := Generate(cfg, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// glueGadgetAt merges gadget into g, identifying gadget vertex anchor with
+// g's vertex at.
+func glueGadgetAt(g *graph.Graph, gadget *graph.Graph, anchor, at int) {
+	offset := make([]int, gadget.N())
+	for v := 0; v < gadget.N(); v++ {
+		if v == anchor {
+			offset[v] = at
+		} else {
+			offset[v] = g.AddVertex()
+		}
+	}
+	for _, e := range gadget.Edges() {
+		g.AddEdge(offset[e[0]], offset[e[1]])
+	}
+}
+
+// randomBlock returns a small 2-connected K_{2,min(5,t)}-minor-free gadget
+// and a designated anchor vertex.
+func randomBlock(t int, rng *rand.Rand) (*graph.Graph, int) {
+	switch choice := rng.Intn(3); {
+	case choice == 0:
+		// Cycle block (K_{2,3}-minor-free).
+		c := 3 + rng.Intn(6)
+		g := graph.New(c)
+		for i := 0; i < c; i++ {
+			g.AddEdge(i, (i+1)%c)
+		}
+		return g, 0
+	case choice == 1 || t < 5:
+		// Fan block (outerplanar, K_{2,3}-minor-free).
+		f, err := NewFan(2 + rng.Intn(6))
+		if err != nil {
+			panic(err) // length is always >= 2
+		}
+		return f.G, f.Center
+	default:
+		// Ladder strip block (K_{2,5}-minor-free per Ding).
+		s, err := NewStrip(2 + rng.Intn(5))
+		if err != nil {
+			panic(err) // rungs is always >= 2
+		}
+		return s.G, s.A
+	}
+}
+
+func generateBlockForest(cfg Config, rng *rand.Rand) *graph.Graph {
+	g := graph.New(1)
+	for g.N() < cfg.N {
+		at := rng.Intn(g.N())
+		if rng.Intn(4) == 0 {
+			// Pendant edge to keep tree parts around.
+			v := g.AddVertex()
+			g.AddEdge(at, v)
+			continue
+		}
+		block, anchor := randomBlock(cfg.T, rng)
+		glueGadgetAt(g, block, anchor, at)
+	}
+	return g
+}
+
+func generateStripChain(cfg Config, rng *rand.Rand) *graph.Graph {
+	// A chain of long gadgets glued end to end at single vertices: this is
+	// the Lemma 4.2 regime where residual components would be long strips.
+	g := graph.New(1)
+	at := 0
+	for g.N() < cfg.N {
+		var gadget *graph.Graph
+		var anchor, exit int
+		if cfg.T >= 5 && rng.Intn(2) == 0 {
+			s, err := NewStrip(4 + rng.Intn(8))
+			if err != nil {
+				panic(err)
+			}
+			gadget, anchor, exit = s.G, s.A, s.D
+		} else {
+			f, err := NewFan(4 + rng.Intn(8))
+			if err != nil {
+				panic(err)
+			}
+			gadget, anchor, exit = f.G, f.End1, f.End2
+		}
+		before := g.N()
+		glueGadgetAt(g, gadget, anchor, at)
+		// The exit corner's new label: count non-anchor vertices preceding
+		// it in the gadget ordering.
+		shift := 0
+		for v := 0; v < exit; v++ {
+			if v != anchor {
+				shift++
+			}
+		}
+		at = before + shift
+	}
+	return g
+}
+
+func generateMixed(cfg Config, rng *rand.Rand) *graph.Graph {
+	g := graph.New(1)
+	for g.N() < cfg.N {
+		at := rng.Intn(g.N())
+		switch rng.Intn(5) {
+		case 0, 1:
+			block, anchor := randomBlock(cfg.T, rng)
+			glueGadgetAt(g, block, anchor, at)
+		case 2:
+			// Short pendant path.
+			l := 1 + rng.Intn(4)
+			prev := at
+			for i := 0; i < l; i++ {
+				v := g.AddVertex()
+				g.AddEdge(prev, v)
+				prev = v
+			}
+		case 3:
+			if cfg.T >= 5 {
+				s, err := NewStrip(3 + rng.Intn(6))
+				if err != nil {
+					panic(err)
+				}
+				glueGadgetAt(g, s.G, s.A, at)
+			} else {
+				f, err := NewFan(3 + rng.Intn(6))
+				if err != nil {
+					panic(err)
+				}
+				glueGadgetAt(g, f.G, f.Center, at)
+			}
+		default:
+			v := g.AddVertex()
+			g.AddEdge(at, v)
+		}
+	}
+	return g
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestRadiusAblation(t *testing.T) {
+	tab, err := RadiusAblation(1, 50, []int{2, 3, 4})
+	if err != nil {
+		t.Fatalf("RadiusAblation: %v", err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// |X| is non-increasing in the radius (§2 monotonicity).
+	prev := 1 << 30
+	for _, row := range tab.Rows {
+		x, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("bad |X| cell %q", row[1])
+		}
+		if x > prev {
+			t.Errorf("|X| grew with radius: %v", tab.Rows)
+		}
+		prev = x
+	}
+}
+
+func TestRoundsVsT(t *testing.T) {
+	tab, err := RoundsVsT(1, 24, []int{3, 4, 5})
+	if err != nil {
+		t.Fatalf("RoundsVsT: %v", err)
+	}
+	// Paper gather radius is linear in t: strictly increasing. Measured
+	// rounds have an instance-dependent flooding term on top of the
+	// 2t+7 gather floor, so only the floor is asserted.
+	prevPaper := -1
+	for _, row := range tab.Rows {
+		tt, err := strconv.Atoi(row[0])
+		if err != nil {
+			t.Fatalf("bad cell %q", row[0])
+		}
+		paper, err := strconv.Atoi(row[3])
+		if err != nil {
+			t.Fatalf("bad cell %q", row[3])
+		}
+		measured, err := strconv.Atoi(row[5])
+		if err != nil {
+			t.Fatalf("bad cell %q", row[5])
+		}
+		if paper <= prevPaper {
+			t.Errorf("paper gather radius not increasing: %v", tab.Rows)
+		}
+		if floor := 2*tt + 7; measured < floor {
+			t.Errorf("t=%d: measured rounds %d below gather floor %d", tt, measured, floor)
+		}
+		prevPaper = paper
+	}
+}
+
+func TestScaling(t *testing.T) {
+	tab, err := Scaling(1, []int{40, 80})
+	if err != nil {
+		t.Fatalf("Scaling: %v", err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestMessageFootprint(t *testing.T) {
+	tab, err := MessageFootprint(1, 24)
+	if err != nil {
+		t.Fatalf("MessageFootprint: %v", err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	// The full gather must ship at least as many words as D2's bounded
+	// gather.
+	d2Words, _ := strconv.Atoi(tab.Rows[0][4])
+	fullWords, _ := strconv.Atoi(tab.Rows[2][4])
+	if fullWords < d2Words {
+		t.Errorf("full gather words %d < D2 words %d", fullWords, d2Words)
+	}
+}
+
+func TestDensityTable(t *testing.T) {
+	tab, err := DensityTable(1, 36)
+	if err != nil {
+		t.Fatalf("DensityTable: %v", err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	tab, err := Baselines(1, []int{40, 80})
+	if err != nil {
+		t.Fatalf("Baselines: %v", err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Greedy phase count must not shrink as n grows on strip chains.
+	p1, _ := strconv.Atoi(tab.Rows[0][2])
+	p2, _ := strconv.Atoi(tab.Rows[1][2])
+	if p2 < p1 {
+		t.Errorf("greedy phases shrank: %d -> %d", p1, p2)
+	}
+}

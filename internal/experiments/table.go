@@ -1,0 +1,89 @@
+// Package experiments contains the evaluation harness: workload
+// definitions, measurement runners and table renderers that regenerate the
+// paper's Table 1 and quantify every numbered lemma/theorem claim
+// (Lemmas 3.2, 3.3, 4.2, 5.17/5.18, Proposition 3.1/5.7/5.8, Theorems 4.1
+// and 4.4). cmd/mdsbench prints the tables; bench_test.go wraps the same
+// runners in testing.B benchmarks.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row; cells beyond the header length are rejected at
+// render time.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "| %-*s ", widths[i], c)
+		}
+		b.WriteString("|\n")
+	}
+	writeRow(t.Header)
+	for i := range widths {
+		fmt.Fprintf(&b, "|%s", strings.Repeat("-", widths[i]+2))
+	}
+	b.WriteString("|\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV (header row first) for downstream
+// plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ratioString formats a solution-size / optimum pair.
+func ratioString(sol, opt int) string {
+	if opt == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f (%d/%d)", float64(sol)/float64(opt), sol, opt)
+}

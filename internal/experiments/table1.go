@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"localmds/internal/asdim"
+	"localmds/internal/core"
+	"localmds/internal/ding"
+	"localmds/internal/gen"
+	"localmds/internal/graph"
+	"localmds/internal/local"
+	"localmds/internal/mds"
+)
+
+// Table1Config scales the Table 1 reproduction.
+type Table1Config struct {
+	// Seed drives every generator.
+	Seed int64
+	// N is the target instance size for ratio measurements (capped by the
+	// exact solver: OPT is computed exactly).
+	N int
+	// ProcessN is the instance size for round measurements with the real
+	// message-passing simulator (smaller, since paper-scale radii force
+	// whole-graph views).
+	ProcessN int
+}
+
+// DefaultTable1Config returns the EXPERIMENTS.md configuration.
+func DefaultTable1Config() Table1Config {
+	return Table1Config{Seed: 1, N: 120, ProcessN: 48}
+}
+
+// Table1 reproduces the paper's Table 1: for each row (graph class) it runs
+// the corresponding algorithm from this repository on in-class workloads
+// and reports the measured approximation ratio and measured LOCAL rounds
+// next to the paper's bound.
+func Table1(cfg Table1Config) (*Table, error) {
+	t := &Table{
+		Title: "Table 1 — constant-round MDS approximation on H-minor-free classes (paper bound vs measured)",
+		Header: []string{
+			"class", "algorithm", "paper ratio", "paper rounds",
+			"measured ratio", "measured rounds", "n",
+		},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Row: trees (K3-minor-free), folklore 3-approx in 2 rounds.
+	{
+		g := gen.RandomTree(cfg.N, rng)
+		sol := core.TreeMDS(g)
+		opt, err := mds.ExactMDS(g)
+		if err != nil {
+			return nil, fmt.Errorf("trees: %w", err)
+		}
+		small := gen.RandomTree(cfg.ProcessN, rng)
+		_, stats, err := core.RunTreeMDS(small, nil, local.Sequential)
+		if err != nil {
+			return nil, fmt.Errorf("trees process: %w", err)
+		}
+		t.AddRow("trees (K3)", "deg>=2 folklore", "3", "2",
+			ratioString(len(sol), len(opt)), fmt.Sprint(stats.Rounds), fmt.Sprint(g.N()))
+	}
+
+	// Row: outerplanar (K4, K_{2,3}): our Algorithm 1 with practical
+	// radii (the paper cites [4]'s specialized 5-approximation). OPT comes
+	// from the treewidth-2 DP.
+	{
+		g := gen.MaximalOuterplanar(cfg.N, rng)
+		res, err := core.Alg1(g, core.PracticalParams())
+		if err != nil {
+			return nil, fmt.Errorf("outerplanar: %w", err)
+		}
+		opt, err := mds.ExactMDS(g)
+		if err != nil {
+			return nil, fmt.Errorf("outerplanar opt: %w", err)
+		}
+		t.AddRow("outerplanar (K4,K2,3)", "Alg1 practical", "5 [4]", "2 [4]",
+			ratioString(len(res.S), len(opt)), fmt.Sprintf("<=%d est", res.RoundsEstimate), fmt.Sprint(g.N()))
+	}
+
+	// Row: planar (K5, K_{3,3}): Algorithm 1 on grids (the paper cites
+	// [12]'s 11+eps). Grids are the exact solver's worst case, so the
+	// side is capped: OPT on larger grids would take hours of branch and
+	// bound.
+	{
+		side := minInt(intSqrt(cfg.N), 7)
+		g := gen.Grid(side, side)
+		res, err := core.Alg1(g, core.PracticalParams())
+		if err != nil {
+			return nil, fmt.Errorf("planar: %w", err)
+		}
+		opt, err := mds.ExactMDS(g)
+		if err != nil {
+			return nil, fmt.Errorf("planar opt: %w", err)
+		}
+		t.AddRow("planar (K5,K3,3)", "Alg1 practical", "11+eps [12]", "O_eps(1) [12]",
+			ratioString(len(res.S), len(opt)), fmt.Sprintf("<=%d est", res.RoundsEstimate), fmt.Sprint(g.N()))
+	}
+
+	// Row: K_{1,t}-minor-free (max degree < t): take-all, 0 rounds.
+	{
+		deg := 4
+		g, err := gen.RegularLike(cfg.N, deg)
+		if err != nil {
+			return nil, fmt.Errorf("k1t: %w", err)
+		}
+		sol := core.TakeAllMDS(g)
+		opt, err := mds.ExactMDS(g)
+		if err != nil {
+			return nil, fmt.Errorf("k1t opt: %w", err)
+		}
+		tt := deg + 2 // graph is K_{1,deg+1}-minor-free: Δ = deg <= t-1
+		t.AddRow(fmt.Sprintf("K1,%d-minor-free", tt), "take all", fmt.Sprint(tt), "0",
+			ratioString(len(sol), len(opt)), "1 (silent)", fmt.Sprint(g.N()))
+	}
+
+	// Rows: K_{2,t}-minor-free, Theorem 4.4 (2t-1 in 3 rounds) and
+	// Theorem 4.1 (50 in O_t(1) rounds), for a sweep of t.
+	for _, tt := range []int{3, 4, 5, 6} {
+		g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: cfg.N, T: tt}, rng)
+		opt, err := mds.ExactMDS(g)
+		if err != nil {
+			return nil, fmt.Errorf("k2t opt: %w", err)
+		}
+		d2 := core.D2(g)
+		small := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: cfg.ProcessN, T: tt}, rng)
+		_, d2stats, err := core.RunD2(small, nil, local.Sequential)
+		if err != nil {
+			return nil, fmt.Errorf("k2t d2 process: %w", err)
+		}
+		t.AddRow(fmt.Sprintf("K2,%d-minor-free", tt), "Thm 4.4 (D2)",
+			fmt.Sprint(2*tt-1), "3",
+			ratioString(len(d2.S), len(opt)), fmt.Sprint(d2stats.Rounds), fmt.Sprint(g.N()))
+
+		res, err := core.Alg1(g, core.PracticalParams())
+		if err != nil {
+			return nil, fmt.Errorf("k2t alg1: %w", err)
+		}
+		_, a1stats, err := core.RunAlg1(small, nil, core.PracticalParams(), local.Sequential)
+		if err != nil {
+			return nil, fmt.Errorf("k2t alg1 process: %w", err)
+		}
+		t.AddRow(fmt.Sprintf("K2,%d-minor-free", tt), "Thm 4.1 (Alg1)",
+			"50", "O_t(1)",
+			ratioString(len(res.S), len(opt)), fmt.Sprint(a1stats.Rounds), fmt.Sprint(g.N()))
+	}
+
+	// Row: K_{s,t}/K_t-minor-free (cited bounds are astronomically large;
+	// our Algorithm 2 runs with an asymptotic-dimension-2 control function
+	// on planar-ish inputs as the executable counterpart).
+	{
+		side := minInt(intSqrt(cfg.N), 7)
+		g := gen.Grid(side, side)
+		res, err := core.Alg2(g, func(r int) int { return 2 * r }, 0)
+		if err != nil {
+			return nil, fmt.Errorf("kt: %w", err)
+		}
+		opt, err := mds.ExactMDS(g)
+		if err != nil {
+			return nil, fmt.Errorf("kt opt: %w", err)
+		}
+		t.AddRow("K_t-minor-free", "Alg2 (asdim d, f)", "t^O(t^2 sqrt(log t)) [18]", "7 [18]",
+			ratioString(len(res.S), len(opt)), fmt.Sprintf("<=%d est", res.RoundsEstimate), fmt.Sprint(g.N()))
+	}
+	return t, nil
+}
+
+// MVCTable measures the vertex-cover variants (Theorem 4.4's t-approx and
+// the Algorithm 1 variant described after Theorem 4.3).
+func MVCTable(cfg Table1Config) (*Table, error) {
+	t := &Table{
+		Title:  "Vertex Cover variants (Theorem 4.4 and the Algorithm 1 MVC variant)",
+		Header: []string{"class", "algorithm", "paper ratio", "measured ratio", "n"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	for _, tt := range []int{3, 4, 5} {
+		g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: cfg.N, T: tt}, rng)
+		opt, err := mds.ExactMVC(g)
+		if err != nil {
+			return nil, fmt.Errorf("mvc opt: %w", err)
+		}
+		d2 := core.MVCD2(g)
+		t.AddRow(fmt.Sprintf("K2,%d-minor-free", tt), "Thm 4.4 MVC",
+			fmt.Sprint(tt), ratioString(len(d2.S), len(opt)), fmt.Sprint(g.N()))
+		a1, err := core.MVCAlg1(g, core.PracticalParams())
+		if err != nil {
+			return nil, fmt.Errorf("mvc alg1: %w", err)
+		}
+		t.AddRow(fmt.Sprintf("K2,%d-minor-free", tt), "Alg1 MVC variant",
+			"O(1)", ratioString(len(a1.S), len(opt)), fmt.Sprint(g.N()))
+	}
+	// Regular graphs: 0-round 2-approximation (§1).
+	g, err := gen.RegularLike(cfg.N, 4)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := mds.ExactMVC(g)
+	if err != nil {
+		return nil, err
+	}
+	sol := core.RegularMVC(g)
+	t.AddRow("4-regular", "take all (folklore)", "2",
+		ratioString(len(sol), len(opt)), fmt.Sprint(g.N()))
+	return t, nil
+}
+
+// Proposition31 measures the local-to-global transfer machinery: on trees
+// with BFS-annulus covers, the per-class sums of B-dominating optima are
+// bounded by (d+1) MDS(G) via Lemma 5.2, which is the engine of
+// Proposition 3.1.
+func Proposition31(cfg Table1Config) (*Table, error) {
+	t := &Table{
+		Title:  "Proposition 3.1 / Lemma 5.2 — per-class domination sums vs (d+1) MDS",
+		Header: []string{"instance", "d+1", "sum_i sum_B MDS(G,N[B])", "(d+1)*MDS", "ok"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	instances := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"tree", gen.RandomTree(cfg.N, rng)},
+		{"cactus", gen.RandomCactus(cfg.N, rng)},
+		{"cycle", gen.Cycle(cfg.N)},
+	}
+	for _, inst := range instances {
+		cover, err := asdim.BFSAnnulusCover(inst.g, 5, 2)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := mds.ExactMDS(inst.g)
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, class := range cover.Classes {
+			comps := inst.g.RComponents(class, 5)
+			family := asdim.RSeparatedSubfamily(inst.g, comps)
+			for _, b := range family {
+				sol, err := mds.ExactBDominating(inst.g, inst.g.BallOfSet(b, 1))
+				if err != nil {
+					return nil, err
+				}
+				total += len(sol)
+			}
+		}
+		bound := 2 * len(opt)
+		t.AddRow(inst.name, "2", fmt.Sprint(total), fmt.Sprint(bound),
+			fmt.Sprint(total <= bound))
+	}
+	return t, nil
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

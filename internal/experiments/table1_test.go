@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTable1DefaultConfigFinishes guards the default mdsbench run against
+// exact-solver blowups: the whole Table 1 must complete within a couple of
+// minutes. (The tree row dispatches to the forest DP; grids are capped; the
+// ding instances are small-treewidth and fast for branch and bound.)
+func TestTable1DefaultConfigFinishes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running sanity check")
+	}
+	start := time.Now()
+	if _, err := Table1(DefaultTable1Config()); err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Minute {
+		t.Errorf("Table1 took %v; default config regressed", elapsed)
+	}
+}

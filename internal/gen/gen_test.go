@@ -1,0 +1,250 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"localmds/internal/graph"
+	"localmds/internal/minor"
+)
+
+func TestElementaryFamilies(t *testing.T) {
+	tests := []struct {
+		name      string
+		g         *graph.Graph
+		n, m      int
+		connected bool
+	}{
+		{"path", Path(6), 6, 5, true},
+		{"path1", Path(1), 1, 0, true},
+		{"cycle", Cycle(5), 5, 5, true},
+		{"star", Star(4), 5, 4, true},
+		{"complete", Complete(5), 5, 10, true},
+		{"bipartite", CompleteBipartite(2, 3), 5, 6, true},
+		{"grid", Grid(3, 4), 12, 17, true},
+		{"binarytree", BinaryTree(3), 7, 6, true},
+		{"caterpillar", Caterpillar(3, 2), 9, 8, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.g.N() != tt.n || tt.g.M() != tt.m {
+				t.Errorf("n=%d m=%d, want n=%d m=%d", tt.g.N(), tt.g.M(), tt.n, tt.m)
+			}
+			if tt.g.Connected() != tt.connected {
+				t.Errorf("Connected() = %v, want %v", tt.g.Connected(), tt.connected)
+			}
+			if err := tt.g.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestCyclePanicsOnSmallN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cycle(2) did not panic")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestRandomTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := RandomTree(50, rng)
+	if g.N() != 50 || g.M() != 49 || !g.Connected() {
+		t.Errorf("RandomTree: n=%d m=%d connected=%v", g.N(), g.M(), g.Connected())
+	}
+}
+
+func TestRandomTreeDeterministic(t *testing.T) {
+	a := RandomTree(30, rand.New(rand.NewSource(7)))
+	b := RandomTree(30, rand.New(rand.NewSource(7)))
+	if !a.Equal(b) {
+		t.Error("same seed produced different trees")
+	}
+}
+
+func TestRandomCactus(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := RandomCactus(80, rng)
+	if g.N() < 80 || !g.Connected() {
+		t.Fatalf("RandomCactus: n=%d connected=%v", g.N(), g.Connected())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestRandomCactusIsK23Free(t *testing.T) {
+	// Cacti are K_{2,3}-minor-free; verify exactly at small size.
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomCactus(14, rng)
+		if g.N() > minor.MaxExactVertices {
+			g, _ = g.Induced(g.Ball(0, 3))
+			if !g.Connected() || g.N() > minor.MaxExactVertices {
+				continue
+			}
+		}
+		_, ok, err := minor.HasK2tMinor(g, 3)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if ok {
+			t.Errorf("seed %d: cactus contains K_{2,3} minor", seed)
+		}
+	}
+}
+
+func TestMaximalOuterplanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := MaximalOuterplanar(12, rng)
+	// A maximal outerplanar graph on n vertices has exactly 2n-3 edges.
+	if g.M() != 2*12-3 {
+		t.Errorf("M = %d, want %d", g.M(), 2*12-3)
+	}
+	if !g.Connected() {
+		t.Error("not connected")
+	}
+	_, ok, err := minor.HasK2tMinor(g, 3)
+	if err != nil {
+		t.Fatalf("minor test: %v", err)
+	}
+	if ok {
+		t.Error("outerplanar graph contains K_{2,3} minor")
+	}
+}
+
+func TestMaximalOuterplanarProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%10) + 4
+		rng := rand.New(rand.NewSource(seed))
+		g := MaximalOuterplanar(n, rng)
+		if g.M() != 2*n-3 || g.Validate() != nil {
+			return false
+		}
+		_, ok, err := minor.HasK2tMinor(g, 3)
+		return err == nil && !ok
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCliquePendants(t *testing.T) {
+	g := CliquePendants(5)
+	// q clique vertices + (q-1) pendants.
+	if g.N() != 9 {
+		t.Fatalf("N = %d, want 9", g.N())
+	}
+	// Vertex 0 dominates everything: it is adjacent to all clique vertices
+	// and all pendants.
+	if g.Degree(0) != 8 {
+		t.Errorf("Degree(0) = %d, want 8", g.Degree(0))
+	}
+	// Every pendant has degree exactly 2 ({0, v}).
+	for x := 5; x < 9; x++ {
+		if g.Degree(x) != 2 {
+			t.Errorf("pendant %d degree = %d, want 2", x, g.Degree(x))
+		}
+	}
+}
+
+func TestGNPDeterministic(t *testing.T) {
+	a := GNP(20, 0.3, rand.New(rand.NewSource(9)))
+	b := GNP(20, 0.3, rand.New(rand.NewSource(9)))
+	if !a.Equal(b) {
+		t.Error("same seed produced different GNP graphs")
+	}
+}
+
+func TestGNPConnected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := GNPConnected(40, 0.02, rand.New(rand.NewSource(seed)))
+		if !g.Connected() {
+			t.Errorf("seed %d: GNPConnected not connected", seed)
+		}
+	}
+}
+
+func TestRegularLike(t *testing.T) {
+	g, err := RegularLike(10, 4)
+	if err != nil {
+		t.Fatalf("RegularLike: %v", err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("Degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if _, err := RegularLike(5, 3); err == nil {
+		t.Error("odd n*d accepted")
+	}
+	if _, err := RegularLike(4, 4); err == nil {
+		t.Error("d >= n accepted")
+	}
+}
+
+func TestRegularLikeOddDegree(t *testing.T) {
+	g, err := RegularLike(8, 3)
+	if err != nil {
+		t.Fatalf("RegularLike(8,3): %v", err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 3 {
+			t.Errorf("Degree(%d) = %d, want 3", v, g.Degree(v))
+		}
+	}
+}
+
+func TestTheta(t *testing.T) {
+	g, err := Theta([]int{2, 3, 4})
+	if err != nil {
+		t.Fatalf("Theta: %v", err)
+	}
+	// Vertices: 2 terminals + 1 + 2 + 3 interior = 8; edges 2+3+4 = 9.
+	if g.N() != 8 || g.M() != 9 {
+		t.Errorf("theta n=%d m=%d, want 8, 9", g.N(), g.M())
+	}
+	if g.Degree(0) != 3 || g.Degree(1) != 3 {
+		t.Error("terminals should have degree 3")
+	}
+	if _, err := Theta([]int{1, 1}); err == nil {
+		t.Error("two length-1 paths accepted (parallel edge)")
+	}
+	if _, err := Theta([]int{0, 2}); err == nil {
+		t.Error("zero-length path accepted")
+	}
+}
+
+func TestThetaHasExpectedMinors(t *testing.T) {
+	g, err := Theta([]int{2, 2, 2, 2})
+	if err != nil {
+		t.Fatalf("Theta: %v", err)
+	}
+	_, ok, err := minor.HasK2tMinor(g, 4)
+	if err != nil || !ok {
+		t.Errorf("theta with 4 paths should contain K_{2,4}: ok=%v err=%v", ok, err)
+	}
+	_, ok, err = minor.HasK2tMinor(g, 5)
+	if err != nil || ok {
+		t.Errorf("theta with 4 paths should not contain K_{2,5}: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestTreePlusChords(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := TreePlusChords(40, 10, 3, rng)
+	if !g.Connected() {
+		t.Error("not connected")
+	}
+	if g.M() < 39 {
+		t.Errorf("M = %d < n-1", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}

@@ -1,0 +1,210 @@
+package graph
+
+// BFSFrom runs a breadth-first search from source and returns the distance
+// slice, with -1 for unreachable vertices.
+func (g *Graph) BFSFrom(source int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[source] = 0
+	queue := []int{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[v] {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSFromSet runs a multi-source BFS from the given set and returns the
+// distance slice, with -1 for unreachable vertices. Distance 0 is assigned to
+// every source.
+func (g *Graph) BFSFromSet(sources []int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if dist[s] < 0 {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.adj[v] {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Dist returns the hop distance between u and v, or -1 if disconnected.
+func (g *Graph) Dist(u, v int) int {
+	if u == v {
+		return 0
+	}
+	return g.BFSFrom(u)[v]
+}
+
+// Ball returns N^r[v]: all vertices at distance at most r from v, sorted.
+func (g *Graph) Ball(v, r int) []int {
+	dist := g.boundedBFS([]int{v}, r)
+	return collectReached(dist)
+}
+
+// BallOfSet returns N^r[S]: all vertices at distance at most r from some
+// vertex of S, sorted.
+func (g *Graph) BallOfSet(s []int, r int) []int {
+	dist := g.boundedBFS(s, r)
+	return collectReached(dist)
+}
+
+// ClosedNeighborhood returns N[v] = {v} ∪ N(v), sorted.
+func (g *Graph) ClosedNeighborhood(v int) []int {
+	return g.Ball(v, 1)
+}
+
+// boundedBFS is a multi-source BFS truncated at radius r.
+func (g *Graph) boundedBFS(sources []int, r int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if dist[s] < 0 {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if dist[v] == r {
+			continue
+		}
+		for _, u := range g.adj[v] {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+func collectReached(dist []int) []int {
+	out := make([]int, 0)
+	for v, d := range dist {
+		if d >= 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Eccentricity returns the maximum distance from v to any reachable vertex.
+func (g *Graph) Eccentricity(v int) int {
+	ecc := 0
+	for _, d := range g.BFSFrom(v) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the largest eccentricity over all vertices, considering
+// only reachable pairs. It returns 0 for graphs with at most one vertex.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		if e := g.Eccentricity(v); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// Radius returns the smallest eccentricity over all vertices, or 0 for the
+// empty graph.
+func (g *Graph) Radius() int {
+	if g.N() == 0 {
+		return 0
+	}
+	rad := g.Eccentricity(0)
+	for v := 1; v < g.N(); v++ {
+		if e := g.Eccentricity(v); e < rad {
+			rad = e
+		}
+	}
+	return rad
+}
+
+// WeakDiameter returns the largest distance *in g* between two vertices of s
+// (the weak diameter of s, §2 of the paper). Pairs in different components
+// of g are ignored. It returns 0 when s has fewer than two vertices.
+func (g *Graph) WeakDiameter(s []int) int {
+	wd := 0
+	for _, u := range s {
+		dist := g.BFSFrom(u)
+		for _, v := range s {
+			if dist[v] > wd {
+				wd = dist[v]
+			}
+		}
+	}
+	return wd
+}
+
+// ShortestPath returns one shortest u-v path as a vertex sequence including
+// both endpoints, or nil if v is unreachable from u.
+func (g *Graph) ShortestPath(u, v int) []int {
+	if u == v {
+		return []int{u}
+	}
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[u] = u
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range g.adj[x] {
+			if parent[y] < 0 {
+				parent[y] = x
+				if y == v {
+					return tracePath(parent, u, v)
+				}
+				queue = append(queue, y)
+			}
+		}
+	}
+	return nil
+}
+
+func tracePath(parent []int, u, v int) []int {
+	path := []int{v}
+	for cur := v; cur != u; {
+		cur = parent[cur]
+		path = append(path, cur)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

@@ -1,0 +1,140 @@
+package graph
+
+// Components returns the connected components of g as sorted vertex slices,
+// ordered by smallest contained vertex.
+func (g *Graph) Components() [][]int {
+	comp := g.ComponentIDs()
+	return groupByComponent(comp)
+}
+
+// ComponentIDs labels each vertex with a component ID in 0..k-1, assigned in
+// order of smallest contained vertex.
+func (g *Graph) ComponentIDs() []int {
+	comp := make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for v := 0; v < g.N(); v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		comp[v] = next
+		queue := []int{v}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, y := range g.adj[x] {
+				if comp[y] < 0 {
+					comp[y] = next
+					queue = append(queue, y)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// NumComponents returns the number of connected components.
+func (g *Graph) NumComponents() int {
+	ids := g.ComponentIDs()
+	max := -1
+	for _, id := range ids {
+		if id > max {
+			max = id
+		}
+	}
+	return max + 1
+}
+
+// Connected reports whether g is connected. The empty graph and the
+// single-vertex graph are considered connected.
+func (g *Graph) Connected() bool {
+	return g.N() <= 1 || g.NumComponents() == 1
+}
+
+// ComponentsOfSubset returns the connected components of g[s] (the subgraph
+// induced by s) as sorted vertex slices in terms of g's vertex labels.
+func (g *Graph) ComponentsOfSubset(s []int) [][]int {
+	in := make(map[int]bool, len(s))
+	for _, v := range s {
+		in[v] = true
+	}
+	seen := make(map[int]bool, len(s))
+	var comps [][]int
+	for _, v := range s {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		comp := []int{v}
+		queue := []int{v}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, y := range g.adj[x] {
+				if in[y] && !seen[y] {
+					seen[y] = true
+					comp = append(comp, y)
+					queue = append(queue, y)
+				}
+			}
+		}
+		sortInts(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// RComponents returns the r-components of s (§3 of the paper): the maximal
+// subsets of s whose vertices are chained by hops of distance at most r in
+// g. Equivalently, the connected components of the r-th power of g induced
+// on s. Components are returned as sorted slices ordered by smallest vertex.
+func (g *Graph) RComponents(s []int, r int) [][]int {
+	if r < 1 {
+		r = 1
+	}
+	in := make(map[int]bool, len(s))
+	for _, v := range s {
+		in[v] = true
+	}
+	seen := make(map[int]bool, len(s))
+	var comps [][]int
+	for _, v := range s {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		comp := []int{v}
+		queue := []int{v}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, y := range g.Ball(x, r) {
+				if in[y] && !seen[y] {
+					seen[y] = true
+					comp = append(comp, y)
+					queue = append(queue, y)
+				}
+			}
+		}
+		sortInts(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func groupByComponent(comp []int) [][]int {
+	max := -1
+	for _, id := range comp {
+		if id > max {
+			max = id
+		}
+	}
+	out := make([][]int, max+1)
+	for v, id := range comp {
+		out[id] = append(out[id], v)
+	}
+	return out
+}

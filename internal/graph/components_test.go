@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(4, 5)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("Components() returned %d comps, want 3", len(comps))
+	}
+	if !EqualSets(comps[0], []int{0, 1, 2}) {
+		t.Errorf("comps[0] = %v", comps[0])
+	}
+	if !EqualSets(comps[1], []int{3}) {
+		t.Errorf("comps[1] = %v", comps[1])
+	}
+	if !EqualSets(comps[2], []int{4, 5}) {
+		t.Errorf("comps[2] = %v", comps[2])
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !path(5).Connected() {
+		t.Error("path(5) not Connected")
+	}
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Error("trivial graphs not Connected")
+	}
+	if New(2).Connected() {
+		t.Error("two isolated vertices reported Connected")
+	}
+}
+
+func TestComponentsOfSubset(t *testing.T) {
+	g := path(7)
+	// Removing vertex 3 splits {0..2} from {4..6}.
+	comps := g.ComponentsOfSubset([]int{0, 1, 2, 4, 5, 6})
+	if len(comps) != 2 {
+		t.Fatalf("got %d comps, want 2", len(comps))
+	}
+	if !EqualSets(comps[0], []int{0, 1, 2}) || !EqualSets(comps[1], []int{4, 5, 6}) {
+		t.Errorf("comps = %v", comps)
+	}
+}
+
+func TestRComponents(t *testing.T) {
+	g := path(10)
+	// S = {0, 2, 7}: with r = 2, {0,2} chain together, 7 is alone.
+	comps := g.RComponents([]int{0, 2, 7}, 2)
+	if len(comps) != 2 {
+		t.Fatalf("got %d r-components, want 2: %v", len(comps), comps)
+	}
+	if !EqualSets(comps[0], []int{0, 2}) || !EqualSets(comps[1], []int{7}) {
+		t.Errorf("comps = %v", comps)
+	}
+	// With r = 5 everything chains together.
+	comps = g.RComponents([]int{0, 2, 7}, 5)
+	if len(comps) != 1 {
+		t.Errorf("r=5: got %d r-components, want 1", len(comps))
+	}
+}
+
+// Property: r-components of V(G) with r = 1 are exactly the connected
+// components.
+func TestRComponentsMatchComponentsProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%25) + 1
+		g := randomGraph(n, 0.12, seed)
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		rcomps := g.RComponents(all, 1)
+		comps := g.Components()
+		if len(rcomps) != len(comps) {
+			return false
+		}
+		for i := range comps {
+			if !EqualSets(rcomps[i], comps[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the number of r-components is non-increasing in r.
+func TestRComponentsMonotoneProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%20) + 2
+		g := randomGraph(n, 0.1, seed)
+		s := []int{}
+		for v := 0; v < n; v += 2 {
+			s = append(s, v)
+		}
+		prev := len(s) + 1
+		for r := 1; r <= n; r++ {
+			k := len(g.RComponents(s, r))
+			if k > prev {
+				return false
+			}
+			prev = k
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

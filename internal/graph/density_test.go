@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNabla0LowerBoundKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want float64
+	}{
+		{"K4", complete(4), 1.5}, // 6 edges / 4 vertices
+		{"C6", cycle(6), 1.0},    // cycle density 1
+		{"P5", path(5), 0.8},     // 4/5
+		{"empty", New(3), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.g.Nabla0LowerBound()
+			if got < tt.want-1e-9 {
+				t.Errorf("Nabla0LowerBound = %v, want >= %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNabla0DetectsDenseCore(t *testing.T) {
+	// A K5 with a long pendant path: the global density is diluted but the
+	// peeling must find the K5 core (density 2).
+	g := complete(5)
+	prev := 0
+	for i := 0; i < 20; i++ {
+		v := g.AddVertex()
+		g.AddEdge(prev, v)
+		prev = v
+	}
+	if got := g.Nabla0LowerBound(); got < 2.0-1e-9 {
+		t.Errorf("Nabla0LowerBound = %v, want 2.0 (K5 core)", got)
+	}
+}
+
+func TestNabla1AtLeastNabla0Property(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%20) + 2
+		g := randomGraph(n, 0.25, seed)
+		return g.Nabla1LowerBound() >= g.Nabla0LowerBound()-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNabla1GridContraction(t *testing.T) {
+	// Contracting a perfect matching of a large grid increases density
+	// beyond the grid's own ~2 - o(1)... at least it must not decrease.
+	g := New(36)
+	id := func(r, c int) int { return r*6 + c }
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			if c+1 < 6 {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < 6 {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	if got, floor := g.Nabla1LowerBound(), g.Nabla0LowerBound(); got < floor {
+		t.Errorf("Nabla1 = %v below Nabla0 = %v", got, floor)
+	}
+}
+
+func TestDegeneracy(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"tree", path(7), 1},
+		{"cycle", cycle(8), 2},
+		{"K5", complete(5), 4},
+		{"isolated", New(4), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.g.Degeneracy(); got != tt.want {
+				t.Errorf("Degeneracy = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: ∇_0 <= degeneracy <= 2∇_0 + 1 (the standard sandwich, slack 1
+// for rounding).
+func TestDegeneracySandwichProperty(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%18) + 2
+		g := randomGraph(n, 0.3, seed)
+		nab := g.Nabla0LowerBound()
+		d := float64(g.Degeneracy())
+		return nab <= d+1e-9 && d <= 2*nab+1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

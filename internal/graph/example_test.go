@@ -1,0 +1,37 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"localmds/internal/graph"
+)
+
+// ExampleGraph_Ball shows radius-r neighborhoods on a path.
+func ExampleGraph_Ball() {
+	g := graph.MustFromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+	fmt.Println(g.Ball(2, 1))
+	fmt.Println(g.Ball(2, 2))
+	// Output:
+	// [1 2 3]
+	// [0 1 2 3 4]
+}
+
+// ExampleGraph_TwinReduction reduces a clique to a single representative.
+func ExampleGraph_TwinReduction() {
+	g := graph.MustFromEdges(3, [][2]int{{0, 1}, {0, 2}, {1, 2}})
+	reduced, reps := g.TwinReduction()
+	fmt.Println(reduced.N(), reps)
+	// Output:
+	// 1 [0]
+}
+
+// ExampleGraph_RComponents shows §3's r-components: {0,2} chain at r=2,
+// vertex 7 stays separate.
+func ExampleGraph_RComponents() {
+	g := graph.MustFromEdges(9, [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8},
+	})
+	fmt.Println(g.RComponents([]int{0, 2, 7}, 2))
+	// Output:
+	// [[0 2] [7]]
+}

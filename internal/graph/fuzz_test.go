@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzReadJSON checks that arbitrary input never panics the decoder and
+// that every accepted graph validates and round-trips.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"n":3,"edges":[[0,1],[1,2]]}`))
+	f.Add([]byte(`{"n":0,"edges":[]}`))
+	f.Add([]byte(`{"n":2,"edges":[[0,0]]}`))
+	f.Add([]byte(`{"n":-1}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		out, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		var h Graph
+		if err := json.Unmarshal(out, &h); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !g.Equal(&h) {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package graph
+
+import "sort"
+
+// Induced returns the subgraph of g induced by the vertex set s, together
+// with the mapping from new vertex indices to original ones. Duplicate
+// entries in s are collapsed; the mapping is sorted ascending so that the
+// relabeling is canonical.
+func (g *Graph) Induced(s []int) (*Graph, []int) {
+	verts := dedupSorted(s)
+	index := make(map[int]int, len(verts))
+	for i, v := range verts {
+		index[v] = i
+	}
+	h := New(len(verts))
+	for i, v := range verts {
+		for _, u := range g.adj[v] {
+			if j, ok := index[u]; ok && i < j {
+				h.AddEdge(i, j)
+			}
+		}
+	}
+	return h, verts
+}
+
+// InducedBall returns g[N^r[v]] plus the vertex mapping, a convenience for
+// local-cut detection (Definition 2.1).
+func (g *Graph) InducedBall(v, r int) (*Graph, []int) {
+	return g.Induced(g.Ball(v, r))
+}
+
+// Delete returns the graph g - s obtained by deleting all vertices of s,
+// plus the mapping from new indices to original ones.
+func (g *Graph) Delete(s []int) (*Graph, []int) {
+	drop := make(map[int]bool, len(s))
+	for _, v := range s {
+		drop[v] = true
+	}
+	keep := make([]int, 0, g.N()-len(drop))
+	for v := 0; v < g.N(); v++ {
+		if !drop[v] {
+			keep = append(keep, v)
+		}
+	}
+	return g.Induced(keep)
+}
+
+// ContractEdge returns the graph obtained from g by contracting edge {u, v}
+// into u (v disappears, u inherits v's neighbors), plus the mapping from new
+// indices to original ones (the merged vertex maps to u). Parallel edges and
+// loops created by the contraction are suppressed, keeping the graph simple.
+func (g *Graph) ContractEdge(u, v int) (*Graph, []int) {
+	keep := make([]int, 0, g.N()-1)
+	for w := 0; w < g.N(); w++ {
+		if w != v {
+			keep = append(keep, w)
+		}
+	}
+	index := make(map[int]int, len(keep))
+	for i, w := range keep {
+		index[w] = i
+	}
+	h := New(len(keep))
+	for _, e := range g.Edges() {
+		a, b := e[0], e[1]
+		if a == v {
+			a = u
+		}
+		if b == v {
+			b = u
+		}
+		if a == b {
+			continue
+		}
+		ia, ib := index[a], index[b]
+		if !h.HasEdge(ia, ib) {
+			h.AddEdge(ia, ib)
+		}
+	}
+	return h, keep
+}
+
+// DisjointUnion returns the disjoint union of g and h; vertices of h are
+// shifted by g.N().
+func DisjointUnion(g, h *Graph) *Graph {
+	u := New(g.N() + h.N())
+	for _, e := range g.Edges() {
+		u.AddEdge(e[0], e[1])
+	}
+	off := g.N()
+	for _, e := range h.Edges() {
+		u.AddEdge(e[0]+off, e[1]+off)
+	}
+	return u
+}
+
+// IdentifyVertices returns the graph obtained from g by identifying every
+// vertex in each group into that group's first element. Groups must be
+// pairwise disjoint. The returned mapping sends new indices to the
+// representative original vertex.
+func IdentifyVertices(g *Graph, groups [][]int) (*Graph, []int) {
+	rep := make([]int, g.N())
+	for v := range rep {
+		rep[v] = v
+	}
+	for _, grp := range groups {
+		if len(grp) == 0 {
+			continue
+		}
+		r := grp[0]
+		for _, v := range grp[1:] {
+			rep[v] = r
+		}
+	}
+	// Compress representative labels into 0..k-1 preserving order.
+	var keep []int
+	for v := 0; v < g.N(); v++ {
+		if rep[v] == v {
+			keep = append(keep, v)
+		}
+	}
+	index := make(map[int]int, len(keep))
+	for i, v := range keep {
+		index[v] = i
+	}
+	h := New(len(keep))
+	for _, e := range g.Edges() {
+		a, b := rep[e[0]], rep[e[1]]
+		if a == b {
+			continue
+		}
+		ia, ib := index[a], index[b]
+		if !h.HasEdge(ia, ib) {
+			h.AddEdge(ia, ib)
+		}
+	}
+	return h, keep
+}
+
+// Power returns g^r: same vertices, edges between all pairs at distance in
+// [1, r] in g.
+func (g *Graph) Power(r int) *Graph {
+	h := New(g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Ball(v, r) {
+			if u > v {
+				h.AddEdge(v, u)
+			}
+		}
+	}
+	return h
+}
+
+func dedupSorted(s []int) []int {
+	out := append([]int(nil), s...)
+	sort.Ints(out)
+	j := 0
+	for i, v := range out {
+		if i == 0 || v != out[j-1] {
+			out[j] = v
+			j++
+		}
+	}
+	return out[:j]
+}
+
+func sortInts(s []int) { sort.Ints(s) }

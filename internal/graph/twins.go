@@ -1,0 +1,105 @@
+package graph
+
+import "sort"
+
+// TrueTwins reports whether u and v are true twins: N[u] = N[v]. True twins
+// are necessarily adjacent (u ∈ N[u] = N[v]).
+func (g *Graph) TrueTwins(u, v int) bool {
+	if u == v {
+		return true
+	}
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	nu := g.ClosedNeighborhood(u)
+	nv := g.ClosedNeighborhood(v)
+	if len(nu) != len(nv) {
+		return false
+	}
+	for i := range nu {
+		if nu[i] != nv[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TrueTwinClasses partitions V(g) into true-twin equivalence classes,
+// returned as sorted slices ordered by smallest member. Singleton classes
+// are included.
+func (g *Graph) TrueTwinClasses() [][]int {
+	// Group by closed-neighborhood fingerprint. Two vertices with equal
+	// closed neighborhoods necessarily hash to the same key.
+	byKey := make(map[string][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		key := fingerprint(g.ClosedNeighborhood(v))
+		byKey[key] = append(byKey[key], v)
+	}
+	classes := make([][]int, 0, len(byKey))
+	for _, c := range byKey {
+		sort.Ints(c)
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i][0] < classes[j][0] })
+	return classes
+}
+
+// TwinReduction computes the true-twin-less graph G⁻ associated to g (§2 of
+// the paper): one representative (the smallest vertex) is kept per
+// true-twin class. It returns the reduced graph and the mapping from new
+// indices to original representatives. MDS(G⁻) = MDS(G).
+//
+// Twin classes can collapse transitively: removing one twin may create new
+// twins. The reduction iterates to a fixpoint, matching "a largest subgraph
+// of G with no true twins".
+func (g *Graph) TwinReduction() (*Graph, []int) {
+	cur := g.Clone()
+	mapping := make([]int, g.N())
+	for i := range mapping {
+		mapping[i] = i
+	}
+	for {
+		classes := cur.TrueTwinClasses()
+		reps := make([]int, 0, len(classes))
+		shrunk := false
+		for _, c := range classes {
+			reps = append(reps, c[0])
+			if len(c) > 1 {
+				shrunk = true
+			}
+		}
+		if !shrunk {
+			return cur, mapping
+		}
+		next, idx := cur.Induced(reps)
+		newMapping := make([]int, len(idx))
+		for i, old := range idx {
+			newMapping[i] = mapping[old]
+		}
+		cur, mapping = next, newMapping
+	}
+}
+
+// HasTrueTwins reports whether g contains at least one pair of distinct true
+// twins.
+func (g *Graph) HasTrueTwins() bool {
+	for _, c := range g.TrueTwinClasses() {
+		if len(c) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// fingerprint encodes a sorted int slice as a compact string map key.
+func fingerprint(s []int) string {
+	buf := make([]byte, 0, len(s)*3)
+	for _, v := range s {
+		for v >= 0x80 {
+			buf = append(buf, byte(v)|0x80)
+			v >>= 7
+		}
+		buf = append(buf, byte(v))
+	}
+	return string(buf)
+}

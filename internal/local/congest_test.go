@@ -1,0 +1,46 @@
+package local
+
+import (
+	"strings"
+	"testing"
+
+	"localmds/internal/gen"
+)
+
+func TestRunCONGESTAllowsSmallMessages(t *testing.T) {
+	// Leader election ships single identifiers: fine under a 1-word
+	// limit.
+	g := gen.Cycle(8)
+	nw, err := NewNetwork(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := g.Diameter() + 2
+	res, err := nw.RunCONGEST(Sequential, func(int) Process { return NewLeaderProcess(horizon) }, horizon+1, 1)
+	if err != nil {
+		t.Fatalf("RunCONGEST: %v", err)
+	}
+	for _, o := range res.Outputs {
+		if o.(LeaderResult).LeaderID != 0 {
+			t.Error("leader election failed under CONGEST")
+		}
+	}
+}
+
+func TestRunCONGESTRejectsGathering(t *testing.T) {
+	// Ball gathering ships adjacency records: violates a 2-word limit as
+	// soon as a degree-2 vertex announces its adjacency (1 key + 2
+	// neighbors = 3 words).
+	g := gen.Cycle(8)
+	nw, err := NewNetwork(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = nw.RunCONGEST(Sequential, func(int) Process { return NewGatherProcess(4) }, 6, 2)
+	if err == nil {
+		t.Fatal("gathering passed under CONGEST limit")
+	}
+	if !strings.Contains(err.Error(), "CONGEST violation") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package local implements the LOCAL model of distributed computing
+// (Linial): a synchronous network where, in each round, every vertex
+// exchanges messages of unbounded size with its neighbors and performs
+// arbitrary local computation. The package provides a Network simulator
+// with two engines — a deterministic sequential reference engine and a
+// goroutine-per-node parallel engine — plus the ball-gathering protocol
+// that underlies all the paper's algorithms (after r rounds every vertex
+// knows its radius-(r-1) ball with full adjacency).
+//
+// Knowledge model (KT0): a process initially knows only its own identifier
+// and its number of ports; neighbor identifiers must be learned by
+// exchanging messages, which is why e.g. the folklore tree algorithm costs
+// 2 rounds rather than 1 (footnote 3 of the paper).
+package local
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is an arbitrary payload exchanged between neighbors in one round.
+// Messages must be treated as immutable once sent: the parallel engine
+// delivers the same value to the recipient without copying.
+type Message any
+
+// NodeInfo is the static information a process receives before round 1.
+type NodeInfo struct {
+	// ID is the vertex's globally unique identifier (O(log n) bits in the
+	// model; any distinct ints here).
+	ID int
+	// Ports is the number of incident edges. Port i of this vertex is
+	// connected to some port of the i-th neighbor; processes do not know
+	// which vertex that is until told via a message.
+	Ports int
+	// N is the number of vertices in the network, which the LOCAL model
+	// typically grants as global knowledge.
+	N int
+}
+
+// Process is the per-vertex algorithm. Round is called once per round with
+// the messages received on each port (nil for silent ports) and returns the
+// messages to send on each port (a slice of length <= Ports; nil entries
+// are silent) plus a halt flag. After halting, Round is not called again
+// and the vertex neither sends nor receives.
+type Process interface {
+	Init(info NodeInfo)
+	Round(round int, inbox []Message) (outbox []Message, halt bool)
+	Output() any
+}
+
+// Factory builds the process for the given vertex index. Algorithms that
+// need per-vertex parameters close over them.
+type Factory func(vertex int) Process
+
+// Topology abstracts the adjacency the simulator needs.
+type Topology interface {
+	N() int
+	Neighbors(v int) []int
+}
+
+// Network couples a topology with an identifier assignment.
+type Network struct {
+	topo Topology
+	ids  []int
+}
+
+// NewNetwork creates a network over topo with identifiers ids (one per
+// vertex, all distinct). Pass nil for the identity assignment.
+func NewNetwork(topo Topology, ids []int) (*Network, error) {
+	n := topo.N()
+	if ids == nil {
+		ids = make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	if len(ids) != n {
+		return nil, fmt.Errorf("local: %d ids for %d vertices", len(ids), n)
+	}
+	seen := make(map[int]bool, n)
+	for _, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("local: duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+	return &Network{topo: topo, ids: ids}, nil
+}
+
+// IDs returns the identifier assignment (do not modify).
+func (nw *Network) IDs() []int { return nw.ids }
+
+// Topo returns the underlying topology.
+func (nw *Network) Topo() Topology { return nw.topo }
+
+// Stats reports the cost of a run.
+type Stats struct {
+	Rounds   int
+	Messages int64 // total messages delivered over all rounds
+	// Words is the total delivered payload in machine words (see Sizer);
+	// MaxMessageWords the largest single message. The LOCAL model allows
+	// unbounded messages; these fields quantify how far a protocol
+	// actually strays beyond CONGEST's O(log n)-bit limit.
+	Words           int64
+	MaxMessageWords int
+}
+
+// Result is the outcome of a run: per-vertex outputs plus cost statistics.
+type Result struct {
+	Outputs []any
+	Stats   Stats
+}
+
+// Engine selects the execution strategy.
+type Engine int
+
+// Engines. Sequential is the deterministic reference; Parallel runs each
+// vertex's round computation on its own goroutine with a barrier between
+// rounds. Both must produce identical results for deterministic processes.
+const (
+	Sequential Engine = iota + 1
+	Parallel
+)
+
+// DefaultMaxRounds caps runaway protocols; Run returns an error beyond it.
+const DefaultMaxRounds = 1 << 20
+
+// RunCONGEST executes the protocol like Run but enforces the CONGEST
+// bandwidth discipline: any delivered message larger than maxMsgWords
+// words aborts the run with an error. Use it to demonstrate which
+// protocols genuinely need the LOCAL model's unbounded messages (the
+// paper's ball-gathering algorithms do; simple flooding does not).
+func (nw *Network) RunCONGEST(engine Engine, factory Factory, maxRounds, maxMsgWords int) (*Result, error) {
+	return nw.run(engine, factory, maxRounds, maxMsgWords)
+}
+
+// Run executes the protocol until every vertex halts and returns outputs
+// and statistics. maxRounds <= 0 selects DefaultMaxRounds.
+func (nw *Network) Run(engine Engine, factory Factory, maxRounds int) (*Result, error) {
+	return nw.run(engine, factory, maxRounds, 0)
+}
+
+func (nw *Network) run(engine Engine, factory Factory, maxRounds, maxMsgWords int) (*Result, error) {
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	n := nw.topo.N()
+	procs := make([]Process, n)
+	for v := 0; v < n; v++ {
+		procs[v] = factory(v)
+		procs[v].Init(NodeInfo{ID: nw.ids[v], Ports: len(nw.topo.Neighbors(v)), N: n})
+	}
+	halted := make([]bool, n)
+	numHalted := 0
+	// inboxes[v][p]: message arriving at v on port p this round.
+	inboxes := make([][]Message, n)
+	outboxes := make([][]Message, n)
+	for v := 0; v < n; v++ {
+		inboxes[v] = make([]Message, len(nw.topo.Neighbors(v)))
+	}
+	// portAt[v][i] is the port of neighbor u = Neighbors(v)[i] that leads
+	// back to v.
+	portAt := make([][]int, n)
+	for v := 0; v < n; v++ {
+		nbrs := nw.topo.Neighbors(v)
+		portAt[v] = make([]int, len(nbrs))
+		for i, u := range nbrs {
+			for j, w := range nw.topo.Neighbors(u) {
+				if w == v {
+					portAt[v][i] = j
+					break
+				}
+			}
+		}
+	}
+
+	var stats Stats
+	for round := 1; numHalted < n; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("local: exceeded %d rounds without global halt", maxRounds)
+		}
+		stats.Rounds = round
+		// Compute phase.
+		step := func(v int) {
+			if halted[v] {
+				outboxes[v] = nil
+				return
+			}
+			out, halt := procs[v].Round(round, inboxes[v])
+			outboxes[v] = out
+			if halt {
+				halted[v] = true
+			}
+		}
+		if engine == Parallel {
+			var wg sync.WaitGroup
+			for v := 0; v < n; v++ {
+				wg.Add(1)
+				go func(v int) {
+					defer wg.Done()
+					step(v)
+				}(v)
+			}
+			wg.Wait()
+		} else {
+			for v := 0; v < n; v++ {
+				step(v)
+			}
+		}
+		// Deliver phase.
+		numHalted = 0
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				numHalted++
+			}
+			for p := range inboxes[v] {
+				inboxes[v][p] = nil
+			}
+		}
+		for v := 0; v < n; v++ {
+			out := outboxes[v]
+			if out == nil {
+				continue
+			}
+			nbrs := nw.topo.Neighbors(v)
+			if len(out) > len(nbrs) {
+				return nil, fmt.Errorf("local: vertex %d sent on %d ports but has %d", v, len(out), len(nbrs))
+			}
+			for i, msg := range out {
+				if msg == nil {
+					continue
+				}
+				u := nbrs[i]
+				if halted[u] {
+					continue // dropped: recipient already halted
+				}
+				size := messageSize(msg)
+				if maxMsgWords > 0 && size > maxMsgWords {
+					return nil, fmt.Errorf("local: CONGEST violation in round %d: vertex %d sent %d words (limit %d)", round, v, size, maxMsgWords)
+				}
+				inboxes[u][portAt[v][i]] = msg
+				stats.Messages++
+				stats.Words += int64(size)
+				if size > stats.MaxMessageWords {
+					stats.MaxMessageWords = size
+				}
+			}
+		}
+	}
+	outputs := make([]any, n)
+	for v := 0; v < n; v++ {
+		outputs[v] = procs[v].Output()
+	}
+	return &Result{Outputs: outputs, Stats: stats}, nil
+}
+
+// Broadcast builds an outbox sending msg on every one of ports ports.
+func Broadcast(ports int, msg Message) []Message {
+	out := make([]Message, ports)
+	for i := range out {
+		out[i] = msg
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package local
+
+import (
+	"testing"
+
+	"localmds/internal/gen"
+)
+
+func TestElectLeader(t *testing.T) {
+	g := gen.Cycle(10)
+	nw, err := NewNetwork(g, []int{5, 9, 3, 7, 1, 8, 2, 6, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, stats, err := ElectLeader(nw, g.Diameter()+2, Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaders := 0
+	for v, r := range results {
+		if r.LeaderID != 0 {
+			t.Errorf("vertex %d elected %d, want 0", v, r.LeaderID)
+		}
+		if r.IsLeader {
+			leaders++
+			if nw.IDs()[v] != 0 {
+				t.Errorf("vertex %d claims leadership with id %d", v, nw.IDs()[v])
+			}
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d leaders, want 1", leaders)
+	}
+	if stats.Rounds == 0 {
+		t.Error("no rounds recorded")
+	}
+}
+
+func TestElectLeaderEnginesAgree(t *testing.T) {
+	g := gen.Grid(4, 4)
+	nw, err := NewNetwork(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, sa, err := ElectLeader(nw, 10, Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := ElectLeader(nw, 10, Parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Errorf("stats differ: %+v vs %+v", sa, sb)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Errorf("vertex %d: %+v vs %+v", v, a[v], b[v])
+		}
+	}
+}
+
+func TestBuildBFSTree(t *testing.T) {
+	g := gen.Path(7)
+	nw, err := NewNetwork(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := BuildBFSTree(nw, 0, g.Diameter()+2, Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range results {
+		if r.Depth != v {
+			t.Errorf("vertex %d: depth %d, want %d", v, r.Depth, v)
+		}
+		wantParent := v - 1
+		if v == 0 {
+			wantParent = -1
+		}
+		if r.ParentID != wantParent {
+			t.Errorf("vertex %d: parent %d, want %d", v, r.ParentID, wantParent)
+		}
+	}
+}
+
+func TestBuildBFSTreeGridDepths(t *testing.T) {
+	g := gen.Grid(4, 5)
+	nw, err := NewNetwork(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := BuildBFSTree(nw, 0, g.Diameter()+2, Parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := g.BFSFrom(0)
+	for v, r := range results {
+		if r.Depth != dist[v] {
+			t.Errorf("vertex %d: depth %d, want BFS distance %d", v, r.Depth, dist[v])
+		}
+	}
+}
+
+func TestBuildBFSTreeShortHorizon(t *testing.T) {
+	// Vertices beyond the horizon stay unreached (depth -1).
+	g := gen.Path(10)
+	nw, err := NewNetwork(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := BuildBFSTree(nw, 0, 3, Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[9].Depth != -1 {
+		t.Errorf("far vertex reached within 3 rounds: %+v", results[9])
+	}
+	if results[1].Depth != 1 {
+		t.Errorf("near vertex not reached: %+v", results[1])
+	}
+}
+
+func TestWordAccounting(t *testing.T) {
+	g := gen.Cycle(6)
+	nw, err := NewNetwork(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := GatherViews(nw, 4, Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Words <= stats.Messages {
+		t.Errorf("gather words %d should exceed message count %d (payloads are records)", stats.Words, stats.Messages)
+	}
+	if stats.MaxMessageWords < 3 {
+		t.Errorf("MaxMessageWords = %d, want >= 3 (id + two neighbors)", stats.MaxMessageWords)
+	}
+}

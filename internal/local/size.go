@@ -1,0 +1,34 @@
+package local
+
+// Sizer lets a message report its encoded size so runs can account for
+// bandwidth. The LOCAL model allows unbounded messages — the point of the
+// accounting is to *measure* how far beyond CONGEST's O(log n) bits the
+// algorithms actually go (ball gathering ships whole subgraphs).
+type Sizer interface {
+	// EstimatedSize returns the message's approximate size in machine
+	// words (identifiers count as one word each).
+	EstimatedSize() int
+}
+
+// messageSize estimates a message's size in words: Sizer if implemented,
+// 1 word for scalar identifiers, and a conservative 1 otherwise.
+func messageSize(m Message) int {
+	switch v := m.(type) {
+	case Sizer:
+		return v.EstimatedSize()
+	case int:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// EstimatedSize reports the gather message's payload: one word per record
+// key plus one per adjacency entry.
+func (m *gatherMsg) EstimatedSize() int {
+	size := 0
+	for _, nbrs := range m.records {
+		size += 1 + len(nbrs)
+	}
+	return size
+}

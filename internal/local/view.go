@@ -1,0 +1,173 @@
+package local
+
+import (
+	"sort"
+
+	"localmds/internal/graph"
+)
+
+// View is the knowledge a vertex has accumulated about its neighborhood:
+// adjacency lists keyed by identifier. After r rounds of the gathering
+// protocol a vertex knows the identifiers of every vertex at distance <= r
+// and the full adjacency list of every vertex at distance <= r-1.
+type View struct {
+	CenterID int
+	// Adj maps a known vertex's identifier to its full adjacency list
+	// (sorted identifiers). Vertices that are known to exist but whose
+	// adjacency has not arrived yet are absent from Adj but may appear
+	// inside other adjacency lists.
+	Adj map[int][]int
+}
+
+// KnownIDs returns every identifier present in the view (as an adjacency
+// key or inside a list), sorted.
+func (v *View) KnownIDs() []int {
+	set := map[int]bool{v.CenterID: true}
+	for id, nbrs := range v.Adj {
+		set[id] = true
+		for _, u := range nbrs {
+			set[u] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Graph materializes the view's resolved portion as a graph.Graph: the
+// vertices with known adjacency plus the frontier vertices referenced by
+// them, with every known edge. It returns the graph, the sorted identifier
+// slice mapping local index -> identifier, and the center's local index.
+func (v *View) Graph() (*graph.Graph, []int, int) {
+	ids := v.KnownIDs()
+	index := make(map[int]int, len(ids))
+	for i, id := range ids {
+		index[id] = i
+	}
+	g := graph.New(len(ids))
+	for id, nbrs := range v.Adj {
+		for _, u := range nbrs {
+			a, b := index[id], index[u]
+			if a != b && !g.HasEdge(a, b) {
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	return g, ids, index[v.CenterID]
+}
+
+// gatherMsg carries adjacency facts: a set of (vertex, adjacency) records.
+type gatherMsg struct {
+	records map[int][]int
+}
+
+// Gatherer is the reusable core of the ball-gathering protocol: in round 1
+// the vertex announces its identifier; in round 2 its (now known) adjacency
+// list; from then on it forwards every record it has not seen before.
+// Algorithms embed a Gatherer for their knowledge-collection phase and
+// read the accumulated View afterwards.
+type Gatherer struct {
+	info   NodeInfo
+	nbrIDs []int // learned in round 1, indexed by port
+	adj    map[int][]int
+}
+
+// Init prepares the gatherer for a run.
+func (p *Gatherer) Init(info NodeInfo) {
+	p.info = info
+	p.nbrIDs = make([]int, info.Ports)
+	for i := range p.nbrIDs {
+		p.nbrIDs[i] = -1
+	}
+	p.adj = make(map[int][]int)
+}
+
+// Step executes one protocol round and returns the outbox for it.
+func (p *Gatherer) Step(round int, inbox []Message) []Message {
+	switch round {
+	case 1:
+		// Announce own identifier.
+		return Broadcast(p.info.Ports, p.info.ID)
+	case 2:
+		// Learn neighbor identifiers; record and announce own adjacency.
+		for port, m := range inbox {
+			if id, ok := m.(int); ok {
+				p.nbrIDs[port] = id
+			}
+		}
+		own := append([]int(nil), p.nbrIDs...)
+		sort.Ints(own)
+		p.adj[p.info.ID] = own
+		msg := &gatherMsg{records: map[int][]int{p.info.ID: own}}
+		return Broadcast(p.info.Ports, msg)
+	default:
+		// Merge incoming records; forward the ones that are new to us.
+		fresh := make(map[int][]int)
+		for _, m := range inbox {
+			gm, ok := m.(*gatherMsg)
+			if !ok {
+				continue
+			}
+			for id, nbrs := range gm.records {
+				if _, known := p.adj[id]; !known {
+					p.adj[id] = nbrs
+					fresh[id] = nbrs
+				}
+			}
+		}
+		if len(fresh) == 0 {
+			return nil
+		}
+		return Broadcast(p.info.Ports, &gatherMsg{records: fresh})
+	}
+}
+
+// NeighborIDs returns the identifiers behind each port (valid after
+// round 2).
+func (p *Gatherer) NeighborIDs() []int { return p.nbrIDs }
+
+// View returns the accumulated knowledge.
+func (p *Gatherer) View() *View {
+	return &View{CenterID: p.info.ID, Adj: p.adj}
+}
+
+// gatherProcess runs a Gatherer for a fixed number of rounds.
+type gatherProcess struct {
+	rounds int
+	g      Gatherer
+}
+
+// NewGatherProcess returns a Process executing rounds rounds of the
+// gathering protocol and outputting a *View.
+func NewGatherProcess(rounds int) Process {
+	return &gatherProcess{rounds: rounds}
+}
+
+func (p *gatherProcess) Init(info NodeInfo) { p.g.Init(info) }
+
+func (p *gatherProcess) Round(round int, inbox []Message) ([]Message, bool) {
+	out := p.g.Step(round, inbox)
+	return out, round >= p.rounds
+}
+
+func (p *gatherProcess) Output() any { return p.g.View() }
+
+// GatherViews runs rounds rounds of the gathering protocol on the network
+// and returns the per-vertex views plus run statistics. After r rounds,
+// view v contains the adjacency of every vertex at distance <= r-2 from v
+// and the identifiers of every vertex at distance <= r-1 (records travel
+// one hop per round starting in round 2).
+func GatherViews(nw *Network, rounds int, engine Engine) ([]*View, Stats, error) {
+	res, err := nw.Run(engine, func(int) Process { return NewGatherProcess(rounds) }, rounds+1)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	views := make([]*View, len(res.Outputs))
+	for i, out := range res.Outputs {
+		views[i] = out.(*View)
+	}
+	return views, res.Stats, nil
+}

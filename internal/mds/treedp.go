@@ -1,0 +1,153 @@
+package mds
+
+import (
+	"sort"
+
+	"localmds/internal/graph"
+)
+
+// exactMDSForest solves MDS on forests by the classic three-state tree DP
+// (linear time), used automatically by ExactMDS when the input is acyclic:
+// branch and bound has weak bounds exactly on trees.
+//
+// States per vertex: in the set; not in the set but dominated from below;
+// not in the set and not yet dominated (the parent must take it).
+func exactMDSForest(g *graph.Graph) []int {
+	const (
+		stIn = iota
+		stDom
+		stNeed
+	)
+	n := g.N()
+	dp := make([][3]int, n)
+	choice := make([][3][]int8, n) // per state: chosen state of each child
+	children := make([][]int, n)
+	parent := make([]int, n)
+	var order []int // vertices in DFS post-order
+
+	visited := make([]bool, n)
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		// Iterative DFS to build children lists and post-order.
+		stack := []int{root}
+		parent[root] = -1
+		visited[root] = true
+		var pre []int
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			pre = append(pre, v)
+			for _, u := range g.Neighbors(v) {
+				if !visited[u] {
+					visited[u] = true
+					parent[u] = v
+					children[v] = append(children[v], u)
+					stack = append(stack, u)
+				}
+			}
+		}
+		for i := len(pre) - 1; i >= 0; i-- {
+			order = append(order, pre[i])
+		}
+	}
+
+	const inf = 1 << 29
+	for _, v := range order {
+		kids := children[v]
+		choice[v][stIn] = make([]int8, len(kids))
+		choice[v][stDom] = make([]int8, len(kids))
+		choice[v][stNeed] = make([]int8, len(kids))
+
+		// stIn: v in S; each child free (v dominates it).
+		in := 1
+		for i, c := range kids {
+			best, bestState := dp[c][stIn], int8(stIn)
+			if dp[c][stDom] < best {
+				best, bestState = dp[c][stDom], stDom
+			}
+			if dp[c][stNeed] < best {
+				best, bestState = dp[c][stNeed], stNeed
+			}
+			in += best
+			choice[v][stIn][i] = bestState
+		}
+		dp[v][stIn] = in
+
+		// stNeed: v not in S, no child in S (else v would be dominated).
+		need := 0
+		for i, c := range kids {
+			need += dp[c][stDom]
+			choice[v][stNeed][i] = stDom
+			if dp[c][stDom] >= inf {
+				need = inf
+			}
+		}
+		dp[v][stNeed] = minInt(need, inf)
+
+		// stDom: v not in S, at least one child in S; other children are
+		// stIn or stDom, whichever is cheaper; pay the smallest penalty to
+		// force one child into S.
+		if len(kids) == 0 {
+			dp[v][stDom] = inf
+		} else {
+			total := 0
+			bestPenalty := inf
+			bestIdx := -1
+			for i, c := range kids {
+				freeBest, freeState := dp[c][stDom], int8(stDom)
+				if dp[c][stIn] < freeBest {
+					freeBest, freeState = dp[c][stIn], stIn
+				}
+				total += freeBest
+				choice[v][stDom][i] = freeState
+				if pen := dp[c][stIn] - freeBest; pen < bestPenalty {
+					bestPenalty = pen
+					bestIdx = i
+				}
+			}
+			if total >= inf || bestPenalty >= inf {
+				dp[v][stDom] = inf
+			} else {
+				dp[v][stDom] = total + bestPenalty
+				choice[v][stDom][bestIdx] = stIn
+			}
+		}
+	}
+
+	// Reconstruct: walk each root with its optimal state.
+	state := make([]int8, n)
+	var sol []int
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if parent[v] < 0 {
+			if dp[v][stIn] <= dp[v][stDom] {
+				state[v] = stIn
+			} else {
+				state[v] = stDom
+			}
+		}
+		st := state[v]
+		if st == stIn {
+			sol = append(sol, v)
+		}
+		for ci, c := range children[v] {
+			state[c] = choice[v][st][ci]
+		}
+	}
+	sort.Ints(sol)
+	return sol
+}
+
+// IsForest reports whether g is acyclic.
+func IsForest(g *graph.Graph) bool {
+	return g.M() == g.N()-g.NumComponents()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,136 @@
+package mds
+
+import (
+	"localmds/internal/graph"
+)
+
+// exactMVCTreewidth2 solves Minimum Vertex Cover exactly on a
+// treewidth-<=2 graph via the same elimination decomposition as the MDS DP,
+// with two states per bag vertex (in / out of the cover). Every real edge
+// lies inside the bag of its first-eliminated endpoint, where it is
+// enforced; enforcing it again in other bags containing both endpoints is
+// harmless. Membership is counted at the vertex's own (forget) bag.
+func exactMVCTreewidth2(g *graph.Graph) ([]int, error) {
+	bags, err := buildTW2Decomposition(g)
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		cost   int
+		vIn    bool
+		childP []uint8
+	}
+	up := make([][]entry, len(bags))
+	numP := func(k int) int { return 1 << k }
+	bit := func(p uint8, slot int) bool { return p&(1<<slot) != 0 }
+
+	for i, bag := range bags {
+		slots := append([]int{bag.v}, bag.rest...)
+		fullSize := numP(len(slots))
+		full := make([]int, fullSize)
+		fullChoice := make([][]uint8, fullSize)
+		for q := 0; q < fullSize; q++ {
+			// Enforce in-bag real edges.
+			valid := true
+			for a := 0; a < len(slots) && valid; a++ {
+				for b := a + 1; b < len(slots); b++ {
+					if g.HasEdge(slots[a], slots[b]) && !bit(uint8(q), a) && !bit(uint8(q), b) {
+						valid = false
+						break
+					}
+				}
+			}
+			if !valid {
+				full[q] = twInf
+				continue
+			}
+			if bit(uint8(q), 0) {
+				full[q] = 1
+			}
+			fullChoice[q] = make([]uint8, len(bag.children))
+		}
+		for ci, c := range bag.children {
+			child := bags[c]
+			childSlots := make([]int, len(child.rest))
+			for k, u := range child.rest {
+				childSlots[k] = slotIndex(slots, u)
+			}
+			next := make([]int, fullSize)
+			nextChoice := make([][]uint8, fullSize)
+			for q := range next {
+				next[q] = twInf
+			}
+			for q := 0; q < fullSize; q++ {
+				if full[q] >= twInf {
+					continue
+				}
+				for cp := 0; cp < numP(len(child.rest)); cp++ {
+					centry := up[c][cp]
+					if centry.cost >= twInf {
+						continue
+					}
+					ok := true
+					for k, slot := range childSlots {
+						if bit(uint8(cp), k) != bit(uint8(q), slot) {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+					if cost := full[q] + centry.cost; cost < next[q] {
+						next[q] = cost
+						nc := append([]uint8(nil), fullChoice[q]...)
+						if nc == nil {
+							nc = make([]uint8, len(bag.children))
+						}
+						nc[ci] = uint8(cp)
+						nextChoice[q] = nc
+					}
+				}
+			}
+			full = next
+			fullChoice = nextChoice
+		}
+		// Forget v: project onto rest profiles.
+		restSize := numP(len(bag.rest))
+		up[i] = make([]entry, restSize)
+		for p := range up[i] {
+			up[i][p] = entry{cost: twInf}
+		}
+		for q := 0; q < fullSize; q++ {
+			if full[q] >= twInf {
+				continue
+			}
+			rp := uint8(q >> 1) // drop slot 0 (v)
+			if full[q] < up[i][rp].cost {
+				up[i][rp] = entry{cost: full[q], vIn: bit(uint8(q), 0), childP: fullChoice[q]}
+			}
+		}
+	}
+
+	inSet := make([]bool, g.N())
+	var walk func(bagIdx int, p uint8)
+	walk = func(bagIdx int, p uint8) {
+		e := up[bagIdx][p]
+		if e.vIn {
+			inSet[bags[bagIdx].v] = true
+		}
+		for ci, c := range bags[bagIdx].children {
+			walk(c, e.childP[ci])
+		}
+	}
+	for i, bag := range bags {
+		if bag.parent < 0 {
+			walk(i, 0)
+		}
+	}
+	var sol []int
+	for v, in := range inSet {
+		if in {
+			sol = append(sol, v)
+		}
+	}
+	return sol, nil
+}

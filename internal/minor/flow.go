@@ -1,0 +1,132 @@
+package minor
+
+import "math/bits"
+
+// disjointHubPaths computes up to want internally vertex-disjoint A–B paths
+// whose interiors avoid A ∪ B and are nonempty (length >= 2), returning the
+// interior vertex list of each path found. It is a unit-capacity max-flow
+// on the split-vertex digraph: source = contracted A, sink = contracted B,
+// every other vertex has capacity one, and no direct source→sink arc exists
+// (interiors must be nonempty). It returns nil when fewer than want paths
+// exist.
+func disjointHubPaths(adj []uint32, n int, a, b uint32, want int) [][]int {
+	// Node numbering: 0 = source (A contracted), 1 = sink (B contracted),
+	// 2+2i / 3+2i = in/out of interior vertex i (vertices not in A∪B).
+	interior := make([]int, 0, n)
+	index := make([]int, n) // vertex -> interior slot, or -1
+	for i := range index {
+		index[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		bit := uint32(1) << uint(v)
+		if a&bit == 0 && b&bit == 0 {
+			index[v] = len(interior)
+			interior = append(interior, v)
+		}
+	}
+	k := len(interior)
+	if k == 0 {
+		return nil
+	}
+	nodes := 2 + 2*k
+	inNode := func(i int) int { return 2 + 2*i }
+	outNode := func(i int) int { return 3 + 2*i }
+
+	type edge struct {
+		to, rev, cap int
+		orig         bool
+	}
+	g := make([][]edge, nodes)
+	addEdge := func(u, v int) {
+		g[u] = append(g[u], edge{to: v, rev: len(g[v]), cap: 1, orig: true})
+		g[v] = append(g[v], edge{to: u, rev: len(g[u]) - 1, cap: 0})
+	}
+	na := neighborhoodMask(adj, a)
+	nb := neighborhoodMask(adj, b)
+	for i, v := range interior {
+		addEdge(inNode(i), outNode(i))
+		bit := uint32(1) << uint(v)
+		if na&bit != 0 {
+			addEdge(0, inNode(i))
+		}
+		if nb&bit != 0 {
+			addEdge(outNode(i), 1)
+		}
+	}
+	for i, v := range interior {
+		for m := adj[v]; m != 0; m &= m - 1 {
+			u := bits.TrailingZeros32(m)
+			if j := index[u]; j >= 0 && u != v {
+				addEdge(outNode(i), inNode(j))
+			}
+		}
+	}
+
+	// Edmonds–Karp with unit capacities; stop once want paths are found.
+	flow := 0
+	parentNode := make([]int, nodes)
+	parentEdge := make([]int, nodes)
+	for flow < want {
+		for i := range parentNode {
+			parentNode[i] = -1
+		}
+		parentNode[0] = 0
+		queue := []int{0}
+		for len(queue) > 0 && parentNode[1] < 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for ei, e := range g[u] {
+				if e.cap > 0 && parentNode[e.to] < 0 {
+					parentNode[e.to] = u
+					parentEdge[e.to] = ei
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if parentNode[1] < 0 {
+			break
+		}
+		for v := 1; v != 0; {
+			u := parentNode[v]
+			e := &g[u][parentEdge[v]]
+			e.cap--
+			g[v][e.rev].cap++
+			v = u
+		}
+		flow++
+	}
+	if flow < want {
+		return nil
+	}
+
+	// Decompose the flow into paths: from the source, repeatedly walk
+	// original arcs that carried flow (cap drained to 0), consuming each
+	// arc as it is traversed.
+	var paths [][]int
+	for p := 0; p < flow; p++ {
+		var path []int
+		cur := 0
+		for cur != 1 {
+			advanced := false
+			for ei := range g[cur] {
+				e := &g[cur][ei]
+				if !e.orig || e.cap != 0 {
+					continue
+				}
+				e.cap++ // consume: next walk will pick another arc
+				g[e.to][e.rev].cap--
+				if e.to >= 2 && (e.to-2)%2 == 0 {
+					path = append(path, interior[(e.to-2)/2])
+				}
+				cur = e.to
+				advanced = true
+				break
+			}
+			if !advanced {
+				return nil // decomposition failed; treat as no model
+			}
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}

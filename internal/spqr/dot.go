@@ -1,0 +1,64 @@
+package spqr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the SPQR tree in Graphviz format: one box per node labelled
+// with its type and skeleton vertices, tree edges labelled by the shared
+// virtual-edge pair. Useful for inspecting decompositions (see
+// examples/structure).
+func (t *Tree) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s {\n  node [shape=box];\n", sanitize(name))
+	for i, n := range t.Nodes {
+		fmt.Fprintf(&b, "  n%d [label=\"%s %v\"];\n", i, n.Type, n.Vertices())
+	}
+	owner := make(map[int]int)
+	for i, n := range t.Nodes {
+		for _, e := range n.Edges {
+			owner[e.ID] = i
+		}
+	}
+	seen := make(map[[2]int]bool)
+	for i, n := range t.Nodes {
+		for _, e := range n.Edges {
+			if !e.Virtual {
+				continue
+			}
+			j, ok := owner[e.Twin]
+			if !ok {
+				continue
+			}
+			a, c := i, j
+			if a > c {
+				a, c = c, a
+			}
+			key := [2]int{a, c}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fmt.Fprintf(&b, "  n%d -- n%d [label=\"{%d,%d}\"];\n", a, c, e.U, e.V)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitize(name string) string {
+	if name == "" {
+		return "SPQR"
+	}
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

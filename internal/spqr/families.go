@@ -1,0 +1,119 @@
+package spqr
+
+import (
+	"sort"
+
+	"localmds/internal/cuts"
+	"localmds/internal/graph"
+)
+
+// InterestingFamilies partitions a covering set of interesting 2-cuts of g
+// into pairwise non-crossing families, in the spirit of Proposition 5.8:
+// every globally interesting vertex appears in some selected cut together
+// with one of its friends, and the cuts inside one family are pairwise
+// non-crossing. The paper proves three families always suffice via an
+// SPQR-tree case analysis; this greedy construction picks, for each not-yet
+// covered interesting vertex, a witnessing cut, and assigns it to the first
+// family it does not cross — returning however many families that needs
+// (the experiments check it is at most three on the evaluated classes).
+func InterestingFamilies(g *graph.Graph) [][]cuts.TwoCut {
+	type witness struct {
+		cut    cuts.TwoCut
+		covers []int
+	}
+	var witnesses []witness
+	covered := make(map[int]bool)
+	for _, c := range cuts.MinimalTwoCuts(g) {
+		var covers []int
+		if cuts.GloballyInteresting(g, c.U, c.V) {
+			covers = append(covers, c.U)
+		}
+		if cuts.GloballyInteresting(g, c.V, c.U) {
+			covers = append(covers, c.V)
+		}
+		if len(covers) > 0 {
+			witnesses = append(witnesses, witness{cut: c, covers: covers})
+		}
+	}
+	// Prefer cuts covering two interesting vertices, then lexicographic.
+	sort.SliceStable(witnesses, func(i, j int) bool {
+		if len(witnesses[i].covers) != len(witnesses[j].covers) {
+			return len(witnesses[i].covers) > len(witnesses[j].covers)
+		}
+		if witnesses[i].cut.U != witnesses[j].cut.U {
+			return witnesses[i].cut.U < witnesses[j].cut.U
+		}
+		return witnesses[i].cut.V < witnesses[j].cut.V
+	})
+	var families [][]cuts.TwoCut
+	place := func(c cuts.TwoCut) {
+		for i := range families {
+			crossesAny := false
+			for _, other := range families[i] {
+				if cuts.Crossing(g, c, other) {
+					crossesAny = true
+					break
+				}
+			}
+			if !crossesAny {
+				families[i] = append(families[i], c)
+				return
+			}
+		}
+		families = append(families, []cuts.TwoCut{c})
+	}
+	for _, w := range witnesses {
+		fresh := false
+		for _, v := range w.covers {
+			if !covered[v] {
+				fresh = true
+			}
+		}
+		if !fresh {
+			continue
+		}
+		place(w.cut)
+		for _, v := range w.covers {
+			covered[v] = true
+		}
+	}
+	return families
+}
+
+// FamiliesCoverInteresting verifies the first Proposition 5.8 property:
+// every globally interesting vertex of g appears, with a friend, in some
+// cut of the families.
+func FamiliesCoverInteresting(g *graph.Graph, families [][]cuts.TwoCut) bool {
+	inFamily := make(map[int]bool)
+	for _, fam := range families {
+		for _, c := range fam {
+			if cuts.GloballyInteresting(g, c.U, c.V) {
+				inFamily[c.U] = true
+			}
+			if cuts.GloballyInteresting(g, c.V, c.U) {
+				inFamily[c.V] = true
+			}
+		}
+	}
+	for _, v := range cuts.GloballyInterestingVertices(g) {
+		if !inFamily[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// FamiliesNonCrossing verifies the second Proposition 5.8 property: cuts
+// within one family are pairwise non-crossing.
+func FamiliesNonCrossing(g *graph.Graph, families [][]cuts.TwoCut) bool {
+	for _, fam := range families {
+		for i := 0; i < len(fam); i++ {
+			for j := i + 1; j < len(fam); j++ {
+				if cuts.Crossing(g, fam[i], fam[j]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
