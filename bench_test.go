@@ -303,6 +303,24 @@ func BenchmarkSimulatorBallGather(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorBallGatherLarge scales the gather benchmark to a
+// 100x100 grid (10k vertices, ~20k edges) to expose the engine's
+// per-vertex overhead at a size where goroutine-per-vertex scheduling used
+// to dominate.
+func BenchmarkSimulatorBallGatherLarge(b *testing.B) {
+	g := gen.Grid(100, 100)
+	nw, err := local.NewNetwork(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := local.GatherViews(nw, 6, local.Parallel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAlg1Distributed runs the full message-passing Algorithm 1 on a
 // moderate Ding instance, reporting the real round count.
 func BenchmarkAlg1Distributed(b *testing.B) {

@@ -4,13 +4,23 @@
 //
 // Usage:
 //
-//	mdsbench [-seed N] [-n N] [-process-n N] [-only table1|mvc|lemmas|spqr|prop31|cycle]
+//	mdsbench [-seed N] [-n N] [-process-n N] [-only table1|mvc|lemmas|spqr|prop31|cycle|ablation] [-json]
+//
+// With -json, results are emitted as machine-readable JSON (per group:
+// name, wall-clock ns, allocation count; per table row: the raw cells plus
+// parsed ratio/rounds where the table reports them) for BENCH_*.json
+// tracking across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
 
 	"localmds/internal/experiments"
 )
@@ -22,100 +32,196 @@ func main() {
 	}
 }
 
+// group is one experiment family: a name and a runner producing its tables.
+type group struct {
+	name string
+	run  func() ([]*experiments.Table, error)
+}
+
+// rowJSON is one table row with metrics parsed out where available.
+type rowJSON struct {
+	Name   string   `json:"name"`
+	Cells  []string `json:"cells"`
+	Ratio  *float64 `json:"ratio,omitempty"`
+	Rounds *float64 `json:"rounds,omitempty"`
+}
+
+// tableJSON is a rendered table in structured form.
+type tableJSON struct {
+	Title  string    `json:"title"`
+	Header []string  `json:"header"`
+	Rows   []rowJSON `json:"rows"`
+}
+
+// groupJSON is the machine-readable result of one experiment group.
+type groupJSON struct {
+	Name     string      `json:"name"`
+	NsOp     int64       `json:"ns_op"`
+	AllocsOp uint64      `json:"allocs_op"`
+	Tables   []tableJSON `json:"tables"`
+}
+
 func run() error {
 	seed := flag.Int64("seed", 1, "generator seed")
 	n := flag.Int("n", 120, "instance size for ratio measurements")
 	processN := flag.Int("process-n", 48, "instance size for simulator round measurements")
 	only := flag.String("only", "", "run a single experiment group (table1|mvc|lemmas|spqr|prop31|cycle|ablation)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results")
 	flag.Parse()
 
 	cfg := experiments.Table1Config{Seed: *seed, N: *n, ProcessN: *processN}
-	want := func(group string) bool { return *only == "" || *only == group }
+	one := func(t *experiments.Table, err error) ([]*experiments.Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*experiments.Table{t}, nil
+	}
+	groups := []group{
+		{"table1", func() ([]*experiments.Table, error) { return one(experiments.Table1(cfg)) }},
+		{"mvc", func() ([]*experiments.Table, error) { return one(experiments.MVCTable(cfg)) }},
+		{"lemmas", func() ([]*experiments.Table, error) {
+			l32, err := experiments.Lemma32(*seed, []int{*n / 2, *n}, 3)
+			if err != nil {
+				return nil, fmt.Errorf("lemma 3.2: %w", err)
+			}
+			l33, err := experiments.Lemma33(*seed, []int{*n / 2, *n}, 3)
+			if err != nil {
+				return nil, fmt.Errorf("lemma 3.3: %w", err)
+			}
+			l42, err := experiments.Lemma42(*seed, []int{*n, 2 * *n, 4 * *n})
+			if err != nil {
+				return nil, fmt.Errorf("lemma 4.2: %w", err)
+			}
+			l518, err := experiments.Lemma518(*seed, []int{*n / 2, *n}, 5)
+			if err != nil {
+				return nil, fmt.Errorf("lemma 5.18: %w", err)
+			}
+			return []*experiments.Table{l32, l33, l42, l518}, nil
+		}},
+		{"cycle", func() ([]*experiments.Table, error) {
+			return []*experiments.Table{experiments.CycleLocalCuts([]int{30, 100, 300, 1000}, 3)}, nil
+		}},
+		{"spqr", func() ([]*experiments.Table, error) {
+			return one(experiments.SPQRStats(*seed, []int{16, 24, 32}))
+		}},
+		{"prop31", func() ([]*experiments.Table, error) { return one(experiments.Proposition31(cfg)) }},
+		{"ablation", func() ([]*experiments.Table, error) {
+			rad, err := experiments.RadiusAblation(*seed, *n, []int{2, 3, 4, 5, 6})
+			if err != nil {
+				return nil, fmt.Errorf("radius ablation: %w", err)
+			}
+			rvt, err := experiments.RoundsVsT(*seed, *processN, []int{3, 4, 5, 6})
+			if err != nil {
+				return nil, fmt.Errorf("rounds vs t: %w", err)
+			}
+			sc, err := experiments.Scaling(*seed, []int{*n, 2 * *n, 4 * *n, 8 * *n})
+			if err != nil {
+				return nil, fmt.Errorf("scaling: %w", err)
+			}
+			mf, err := experiments.MessageFootprint(*seed, *processN)
+			if err != nil {
+				return nil, fmt.Errorf("message footprint: %w", err)
+			}
+			dt, err := experiments.DensityTable(*seed, *n)
+			if err != nil {
+				return nil, fmt.Errorf("density table: %w", err)
+			}
+			bl, err := experiments.Baselines(*seed, []int{*n, 2 * *n, 4 * *n})
+			if err != nil {
+				return nil, fmt.Errorf("baselines: %w", err)
+			}
+			return []*experiments.Table{rad, rvt, sc, mf, dt, bl}, nil
+		}},
+	}
 
-	if want("table1") {
-		tab, err := experiments.Table1(cfg)
-		if err != nil {
-			return fmt.Errorf("table1: %w", err)
+	results := []groupJSON{}
+	for _, grp := range groups {
+		if *only != "" && *only != grp.name {
+			continue
 		}
-		fmt.Println(tab.Render())
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		tables, err := grp.run()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return fmt.Errorf("%s: %w", grp.name, err)
+		}
+		if !*jsonOut {
+			for _, t := range tables {
+				fmt.Println(t.Render())
+			}
+			continue
+		}
+		gj := groupJSON{
+			Name:     grp.name,
+			NsOp:     elapsed.Nanoseconds(),
+			AllocsOp: after.Mallocs - before.Mallocs,
+		}
+		for _, t := range tables {
+			gj.Tables = append(gj.Tables, structureTable(t))
+		}
+		results = append(results, gj)
 	}
-	if want("mvc") {
-		tab, err := experiments.MVCTable(cfg)
-		if err != nil {
-			return fmt.Errorf("mvc: %w", err)
-		}
-		fmt.Println(tab.Render())
-	}
-	if want("lemmas") {
-		l32, err := experiments.Lemma32(*seed, []int{*n / 2, *n}, 3)
-		if err != nil {
-			return fmt.Errorf("lemma 3.2: %w", err)
-		}
-		fmt.Println(l32.Render())
-		l33, err := experiments.Lemma33(*seed, []int{*n / 2, *n / 1}, 3)
-		if err != nil {
-			return fmt.Errorf("lemma 3.3: %w", err)
-		}
-		fmt.Println(l33.Render())
-		l42, err := experiments.Lemma42(*seed, []int{*n, 2 * *n, 4 * *n})
-		if err != nil {
-			return fmt.Errorf("lemma 4.2: %w", err)
-		}
-		fmt.Println(l42.Render())
-		l518, err := experiments.Lemma518(*seed, []int{*n / 2, *n}, 5)
-		if err != nil {
-			return fmt.Errorf("lemma 5.18: %w", err)
-		}
-		fmt.Println(l518.Render())
-	}
-	if want("cycle") {
-		fmt.Println(experiments.CycleLocalCuts([]int{30, 100, 300, 1000}, 3).Render())
-	}
-	if want("spqr") {
-		tab, err := experiments.SPQRStats(*seed, []int{16, 24, 32})
-		if err != nil {
-			return fmt.Errorf("spqr: %w", err)
-		}
-		fmt.Println(tab.Render())
-	}
-	if want("prop31") {
-		tab, err := experiments.Proposition31(cfg)
-		if err != nil {
-			return fmt.Errorf("prop31: %w", err)
-		}
-		fmt.Println(tab.Render())
-	}
-	if want("ablation") {
-		rad, err := experiments.RadiusAblation(*seed, *n, []int{2, 3, 4, 5, 6})
-		if err != nil {
-			return fmt.Errorf("radius ablation: %w", err)
-		}
-		fmt.Println(rad.Render())
-		rvt, err := experiments.RoundsVsT(*seed, *processN, []int{3, 4, 5, 6})
-		if err != nil {
-			return fmt.Errorf("rounds vs t: %w", err)
-		}
-		fmt.Println(rvt.Render())
-		sc, err := experiments.Scaling(*seed, []int{*n, 2 * *n, 4 * *n, 8 * *n})
-		if err != nil {
-			return fmt.Errorf("scaling: %w", err)
-		}
-		fmt.Println(sc.Render())
-		mf, err := experiments.MessageFootprint(*seed, *processN)
-		if err != nil {
-			return fmt.Errorf("message footprint: %w", err)
-		}
-		fmt.Println(mf.Render())
-		dt, err := experiments.DensityTable(*seed, *n)
-		if err != nil {
-			return fmt.Errorf("density table: %w", err)
-		}
-		fmt.Println(dt.Render())
-		bl, err := experiments.Baselines(*seed, []int{*n, 2 * *n, 4 * *n})
-		if err != nil {
-			return fmt.Errorf("baselines: %w", err)
-		}
-		fmt.Println(bl.Render())
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{"results": results})
 	}
 	return nil
+}
+
+// structureTable converts a rendered table into its JSON form, parsing
+// ratio and round metrics out of the columns that carry them.
+func structureTable(t *experiments.Table) tableJSON {
+	tj := tableJSON{Title: t.Title, Header: t.Header}
+	ratioCol, roundsCol := -1, -1
+	for i, h := range t.Header {
+		lh := strings.ToLower(h)
+		switch {
+		case strings.Contains(lh, "measured ratio") || lh == "ratio":
+			ratioCol = i
+		case strings.Contains(lh, "measured rounds") || lh == "rounds":
+			roundsCol = i
+		}
+	}
+	for _, row := range t.Rows {
+		rj := rowJSON{Cells: row}
+		if len(row) > 0 {
+			rj.Name = row[0]
+		}
+		if ratioCol >= 0 && ratioCol < len(row) {
+			rj.Ratio = parseLeadingFloat(row[ratioCol])
+		}
+		if roundsCol >= 0 && roundsCol < len(row) {
+			rj.Rounds = parseLeadingFloat(row[roundsCol])
+		}
+		tj.Rows = append(tj.Rows, rj)
+	}
+	return tj
+}
+
+// parseLeadingFloat extracts the first number from a cell like
+// "1.23 (37/30)" or "<=14 est"; it returns nil when the cell has none.
+func parseLeadingFloat(cell string) *float64 {
+	start := -1
+	for i, r := range cell {
+		if r >= '0' && r <= '9' {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	end := start
+	for end < len(cell) && (cell[end] >= '0' && cell[end] <= '9' || cell[end] == '.') {
+		end++
+	}
+	f, err := strconv.ParseFloat(cell[start:end], 64)
+	if err != nil {
+		return nil
+	}
+	return &f
 }

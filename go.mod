@@ -1,0 +1,3 @@
+module localmds
+
+go 1.24

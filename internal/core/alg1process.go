@@ -17,9 +17,17 @@ type partRecord struct {
 	Undominated bool
 }
 
-// floodMsg carries flooding records keyed by vertex identifier.
+// floodRecord is a partRecord tagged with its vertex identifier. Records
+// are immutable once created and shared between every message that
+// forwards them.
+type floodRecord struct {
+	ID  int
+	Rec partRecord
+}
+
+// floodMsg carries flooding records as a flat slice.
 type floodMsg struct {
-	records map[int]partRecord
+	records []floodRecord
 }
 
 // alg1Process is the message-passing implementation of Algorithm 1. It
@@ -37,6 +45,7 @@ type alg1Process struct {
 	inS1        bool
 	participant bool
 	records     map[int]partRecord
+	scratch     []floodRecord // reused per-round fresh-record buffer
 	inS         bool
 }
 
@@ -64,11 +73,11 @@ func (a *alg1Process) Round(round int, inbox []local.Message) ([]local.Message, 
 		return out, false
 	}
 	// Flooding phase (participants only).
-	fresh := make(map[int]partRecord)
+	fresh := a.scratch[:0]
 	if round == a.gatherRounds+1 {
-		// Seed with the own record.
+		// Seed with the own record (the only one present after decide).
 		for id, rec := range a.records {
-			fresh[id] = rec
+			fresh = append(fresh, floodRecord{ID: id, Rec: rec})
 		}
 	}
 	for _, m := range inbox {
@@ -76,16 +85,19 @@ func (a *alg1Process) Round(round int, inbox []local.Message) ([]local.Message, 
 		if !ok {
 			continue
 		}
-		for id, rec := range fm.records {
-			if _, known := a.records[id]; !known {
-				a.records[id] = rec
-				fresh[id] = rec
+		for _, fr := range fm.records {
+			if _, known := a.records[fr.ID]; !known {
+				a.records[fr.ID] = fr.Rec
+				fresh = append(fresh, fr)
 			}
 		}
 	}
+	a.scratch = fresh
 	var out []local.Message
 	if len(fresh) > 0 {
-		out = local.Broadcast(a.info.Ports, &floodMsg{records: fresh})
+		records := make([]floodRecord, len(fresh))
+		copy(records, fresh)
+		out = local.Broadcast(a.info.Ports, &floodMsg{records: records})
 	}
 	if a.closed() {
 		a.solveComponent()
@@ -119,6 +131,7 @@ func (a *alg1Process) decide() {
 		}
 	}
 	rg, ridx := bg.Induced(keptVerts)
+	rg.Freeze() // read-only from here on; decisions traverse it heavily
 	rpos := make(map[int]int, len(ridx))
 	for i, v := range ridx {
 		rpos[v] = i

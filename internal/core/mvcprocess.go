@@ -63,6 +63,7 @@ func (p *mvcD2Process) decide() {
 		}
 	}
 	rg, ridx := bg.Induced(keptVerts)
+	rg.Freeze() // read-only from here on; the gamma tests traverse it
 	// take: gamma >= 2 on the reduced graph, non-isolated only.
 	take := make([]bool, rg.N())
 	for v := 0; v < rg.N(); v++ {
@@ -120,6 +121,7 @@ type mvcAlg1Process struct {
 	inS1         bool
 	participant  bool
 	records      map[int]partRecord
+	scratch      []floodRecord // reused per-round fresh-record buffer
 	inS          bool
 }
 
@@ -156,10 +158,10 @@ func (a *mvcAlg1Process) Round(round int, inbox []local.Message) ([]local.Messag
 		}
 		return out, false
 	}
-	fresh := make(map[int]partRecord)
+	fresh := a.scratch[:0]
 	if round == a.gatherRounds+1 {
 		for id, rec := range a.records {
-			fresh[id] = rec
+			fresh = append(fresh, floodRecord{ID: id, Rec: rec})
 		}
 	}
 	for _, m := range inbox {
@@ -167,16 +169,19 @@ func (a *mvcAlg1Process) Round(round int, inbox []local.Message) ([]local.Messag
 		if !ok {
 			continue
 		}
-		for id, rec := range fm.records {
-			if _, known := a.records[id]; !known {
-				a.records[id] = rec
-				fresh[id] = rec
+		for _, fr := range fm.records {
+			if _, known := a.records[fr.ID]; !known {
+				a.records[fr.ID] = fr.Rec
+				fresh = append(fresh, fr)
 			}
 		}
 	}
+	a.scratch = fresh
 	var out []local.Message
 	if len(fresh) > 0 {
-		out = local.Broadcast(a.info.Ports, &floodMsg{records: fresh})
+		records := make([]floodRecord, len(fresh))
+		copy(records, fresh)
+		out = local.Broadcast(a.info.Ports, &floodMsg{records: records})
 	}
 	if a.closed() {
 		a.solveComponent()

@@ -1,5 +1,10 @@
 package graph
 
+// BFS traversals. All queues are preallocated to n and consumed with a head
+// index rather than `queue[1:]` re-slicing, so a full BFS performs exactly
+// two allocations (dist + queue). When the graph has been frozen (see
+// Freeze), the scan runs over the flat CSR arrays.
+
 // BFSFrom runs a breadth-first search from source and returns the distance
 // slice, with -1 for unreachable vertices.
 func (g *Graph) BFSFrom(source int) []int {
@@ -8,17 +13,9 @@ func (g *Graph) BFSFrom(source int) []int {
 		dist[i] = -1
 	}
 	dist[source] = 0
-	queue := []int{source}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, u := range g.adj[v] {
-			if dist[u] < 0 {
-				dist[u] = dist[v] + 1
-				queue = append(queue, u)
-			}
-		}
-	}
+	queue := make([]int, 1, g.N())
+	queue[0] = source
+	g.bfsLoop(dist, queue, -1)
 	return dist
 }
 
@@ -26,28 +23,44 @@ func (g *Graph) BFSFrom(source int) []int {
 // distance slice, with -1 for unreachable vertices. Distance 0 is assigned to
 // every source.
 func (g *Graph) BFSFromSet(sources []int) []int {
-	dist := make([]int, g.N())
-	for i := range dist {
-		dist[i] = -1
-	}
-	queue := make([]int, 0, len(sources))
-	for _, s := range sources {
-		if dist[s] < 0 {
-			dist[s] = 0
-			queue = append(queue, s)
+	return g.boundedBFS(sources, -1)
+}
+
+// bfsLoop drains the queue, expanding vertices in FIFO order. A vertex at
+// distance r (when r >= 0) is not expanded, truncating the search at radius
+// r. dist must be -1 except at the enqueued sources.
+func (g *Graph) bfsLoop(dist []int, queue []int, r int) {
+	if c := g.csr; c != nil {
+		offs, tgts := c.Offsets, c.Targets
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			d := dist[v]
+			if d == r {
+				continue
+			}
+			for k := offs[v]; k < offs[v+1]; k++ {
+				u := tgts[k]
+				if dist[u] < 0 {
+					dist[u] = d + 1
+					queue = append(queue, int(u))
+				}
+			}
 		}
+		return
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		d := dist[v]
+		if d == r {
+			continue
+		}
 		for _, u := range g.adj[v] {
 			if dist[u] < 0 {
-				dist[u] = dist[v] + 1
+				dist[u] = d + 1
 				queue = append(queue, u)
 			}
 		}
 	}
-	return dist
 }
 
 // Dist returns the hop distance between u and v, or -1 if disconnected.
@@ -76,32 +89,21 @@ func (g *Graph) ClosedNeighborhood(v int) []int {
 	return g.Ball(v, 1)
 }
 
-// boundedBFS is a multi-source BFS truncated at radius r.
+// boundedBFS is a multi-source BFS truncated at radius r (r < 0 means
+// unbounded).
 func (g *Graph) boundedBFS(sources []int, r int) []int {
 	dist := make([]int, g.N())
 	for i := range dist {
 		dist[i] = -1
 	}
-	queue := make([]int, 0, len(sources))
+	queue := make([]int, 0, g.N())
 	for _, s := range sources {
 		if dist[s] < 0 {
 			dist[s] = 0
 			queue = append(queue, s)
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		if dist[v] == r {
-			continue
-		}
-		for _, u := range g.adj[v] {
-			if dist[u] < 0 {
-				dist[u] = dist[v] + 1
-				queue = append(queue, u)
-			}
-		}
-	}
+	g.bfsLoop(dist, queue, r)
 	return dist
 }
 
@@ -180,10 +182,10 @@ func (g *Graph) ShortestPath(u, v int) []int {
 		parent[i] = -1
 	}
 	parent[u] = u
-	queue := []int{u}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
+	queue := make([]int, 1, g.N())
+	queue[0] = u
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
 		for _, y := range g.adj[x] {
 			if parent[y] < 0 {
 				parent[y] = x

@@ -14,10 +14,12 @@ import (
 )
 
 // Graph is a simple undirected graph over vertices 0..n-1 stored as sorted
-// adjacency lists. The zero value is the empty graph.
+// adjacency lists. The zero value is the empty graph. Freeze caches a flat
+// CSR view for traversal-heavy read paths; any mutation drops the cache.
 type Graph struct {
 	adj [][]int
 	m   int
+	csr *CSR
 }
 
 // New returns an edgeless graph on n vertices. It panics if n is negative.
@@ -96,6 +98,7 @@ func (g *Graph) addEdge(u, v int, allowDup bool) error {
 	g.adj[u] = insertSorted(g.adj[u], v)
 	g.adj[v] = insertSorted(g.adj[v], u)
 	g.m++
+	g.csr = nil
 	return nil
 }
 
@@ -108,12 +111,14 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	g.adj[u] = removeSorted(g.adj[u], v)
 	g.adj[v] = removeSorted(g.adj[v], u)
 	g.m--
+	g.csr = nil
 	return true
 }
 
 // AddVertex appends an isolated vertex and returns its index.
 func (g *Graph) AddVertex() int {
 	g.adj = append(g.adj, nil)
+	g.csr = nil
 	return len(g.adj) - 1
 }
 

@@ -12,14 +12,29 @@ func (g *Graph) Induced(s []int) (*Graph, []int) {
 	for i, v := range verts {
 		index[v] = i
 	}
-	h := New(len(verts))
-	for i, v := range verts {
+	// Relabeling is monotone (verts ascending), so mapped adjacency rows
+	// stay sorted and can be built directly into one shared backing array —
+	// no insertSorted, no per-edge HasEdge.
+	total := 0
+	for _, v := range verts {
 		for _, u := range g.adj[v] {
-			if j, ok := index[u]; ok && i < j {
-				h.AddEdge(i, j)
+			if _, ok := index[u]; ok {
+				total++
 			}
 		}
 	}
+	h := New(len(verts))
+	buf := make([]int, 0, total)
+	for i, v := range verts {
+		start := len(buf)
+		for _, u := range g.adj[v] {
+			if j, ok := index[u]; ok {
+				buf = append(buf, j)
+			}
+		}
+		h.adj[i] = buf[start:len(buf):len(buf)]
+	}
+	h.m = total / 2
 	return h, verts
 }
 

@@ -3,7 +3,7 @@
 // exchanges messages of unbounded size with its neighbors and performs
 // arbitrary local computation. The package provides a Network simulator
 // with two engines — a deterministic sequential reference engine and a
-// goroutine-per-node parallel engine — plus the ball-gathering protocol
+// chunked worker-pool parallel engine — plus the ball-gathering protocol
 // that underlies all the paper's algorithms (after r rounds every vertex
 // knows its radius-(r-1) ball with full adjacency).
 //
@@ -15,7 +15,10 @@ package local
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+
+	"localmds/internal/graph"
 )
 
 // Message is an arbitrary payload exchanged between neighbors in one round.
@@ -41,7 +44,8 @@ type NodeInfo struct {
 // the messages received on each port (nil for silent ports) and returns the
 // messages to send on each port (a slice of length <= Ports; nil entries
 // are silent) plus a halt flag. After halting, Round is not called again
-// and the vertex neither sends nor receives.
+// and the vertex neither sends nor receives. The inbox slice is owned by
+// the simulator and is only valid for the duration of the call.
 type Process interface {
 	Init(info NodeInfo)
 	Round(round int, inbox []Message) (outbox []Message, halt bool)
@@ -58,10 +62,14 @@ type Topology interface {
 	Neighbors(v int) []int
 }
 
-// Network couples a topology with an identifier assignment.
+// Network couples a topology with an identifier assignment. The topology's
+// adjacency is snapshotted into a message fabric at construction time, so
+// repeated runs over the same network pay the wiring cost once; mutating
+// the topology after NewNetwork is not supported.
 type Network struct {
-	topo Topology
-	ids  []int
+	topo  Topology
+	ids   []int
+	wires *wires
 }
 
 // NewNetwork creates a network over topo with identifiers ids (one per
@@ -84,7 +92,7 @@ func NewNetwork(topo Topology, ids []int) (*Network, error) {
 		}
 		seen[id] = true
 	}
-	return &Network{topo: topo, ids: ids}, nil
+	return &Network{topo: topo, ids: ids, wires: buildWires(topo)}, nil
 }
 
 // IDs returns the identifier assignment (do not modify).
@@ -114,9 +122,11 @@ type Result struct {
 // Engine selects the execution strategy.
 type Engine int
 
-// Engines. Sequential is the deterministic reference; Parallel runs each
-// vertex's round computation on its own goroutine with a barrier between
-// rounds. Both must produce identical results for deterministic processes.
+// Engines. Sequential is the deterministic reference; Parallel fans the
+// compute phase of each round out over a persistent pool of GOMAXPROCS
+// workers processing chunks of the active-vertex list, with one barrier
+// per round. Both must produce identical results for deterministic
+// processes.
 const (
 	Sequential Engine = iota + 1
 	Parallel
@@ -140,97 +150,235 @@ func (nw *Network) Run(engine Engine, factory Factory, maxRounds int) (*Result, 
 	return nw.run(engine, factory, maxRounds, 0)
 }
 
-func (nw *Network) run(engine Engine, factory Factory, maxRounds, maxMsgWords int) (*Result, error) {
-	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds
+// wires is the frozen message fabric of one run: a CSR copy of the
+// topology plus, for every directed arc, the receive slot it feeds. All
+// round state (inbox, outbox) lives in flat arrays indexed by arc, so a
+// run allocates its buffers once and reuses them every round.
+type wires struct {
+	offsets []int32 // len n+1
+	targets []int32 // arc k goes to vertex targets[k]
+	// revSlot[k] is the inbox slot the arc fills: for arc k = (v -> u),
+	// revSlot[k] = offsets[u] + (port of u that leads back to v).
+	revSlot []int32
+}
+
+// buildWires snapshots the topology and computes every arc's receive slot.
+// A *graph.Graph topology shares its frozen CSR arrays directly; other
+// topologies are flattened here. For sorted adjacency lists (graph.Graph
+// guarantees this) the reverse ports come out of a single counting pass
+// over the arcs: scanning sources in increasing order means each target's
+// in-arcs arrive in exactly its adjacency order. Unsorted topologies fall
+// back to a per-arc scan.
+func buildWires(topo Topology) *wires {
+	n := topo.N()
+	var offsets, targets []int32
+	sorted := true
+	if g, ok := topo.(*graph.Graph); ok {
+		c := g.Freeze()
+		offsets, targets = c.Offsets, c.Targets
+	} else {
+		offsets = make([]int32, n+1)
+		total := 0
+		for v := 0; v < n; v++ {
+			offsets[v] = int32(total)
+			total += len(topo.Neighbors(v))
+		}
+		offsets[n] = int32(total)
+		targets = make([]int32, total)
+		for v := 0; v < n; v++ {
+			k := offsets[v]
+			prev := -1
+			for _, u := range topo.Neighbors(v) {
+				if u <= prev {
+					sorted = false
+				}
+				prev = u
+				targets[k] = int32(u)
+				k++
+			}
+		}
 	}
-	n := nw.topo.N()
-	procs := make([]Process, n)
-	for v := 0; v < n; v++ {
-		procs[v] = factory(v)
-		procs[v].Init(NodeInfo{ID: nw.ids[v], Ports: len(nw.topo.Neighbors(v)), N: n})
+	w := &wires{offsets: offsets, targets: targets}
+	w.revSlot = make([]int32, len(targets))
+	if sorted {
+		ptr := make([]int32, n)
+		for v := 0; v < n; v++ {
+			for k := offsets[v]; k < offsets[v+1]; k++ {
+				u := targets[k]
+				w.revSlot[k] = offsets[u] + ptr[u]
+				ptr[u]++
+			}
+		}
+		return w
 	}
-	halted := make([]bool, n)
-	numHalted := 0
-	// inboxes[v][p]: message arriving at v on port p this round.
-	inboxes := make([][]Message, n)
-	outboxes := make([][]Message, n)
 	for v := 0; v < n; v++ {
-		inboxes[v] = make([]Message, len(nw.topo.Neighbors(v)))
-	}
-	// portAt[v][i] is the port of neighbor u = Neighbors(v)[i] that leads
-	// back to v.
-	portAt := make([][]int, n)
-	for v := 0; v < n; v++ {
-		nbrs := nw.topo.Neighbors(v)
-		portAt[v] = make([]int, len(nbrs))
-		for i, u := range nbrs {
-			for j, w := range nw.topo.Neighbors(u) {
-				if w == v {
-					portAt[v][i] = j
+		for k := offsets[v]; k < offsets[v+1]; k++ {
+			u := targets[k]
+			for j := offsets[u]; j < offsets[u+1]; j++ {
+				if targets[j] == int32(v) {
+					w.revSlot[k] = j
 					break
 				}
 			}
 		}
 	}
+	return w
+}
 
-	var stats Stats
-	for round := 1; numHalted < n; round++ {
-		if round > maxRounds {
-			return nil, fmt.Errorf("local: exceeded %d rounds without global halt", maxRounds)
-		}
-		stats.Rounds = round
-		// Compute phase.
-		step := func(v int) {
-			if halted[v] {
-				outboxes[v] = nil
-				return
+// degree returns the degree of v in the wired topology.
+func (w *wires) degree(v int32) int { return int(w.offsets[v+1] - w.offsets[v]) }
+
+// chunk is one unit of compute-phase work: a slice of the active list.
+type chunk struct {
+	lo, hi int
+	round  int
+}
+
+// computePool runs the per-round compute phase on persistent workers.
+// Workers live for the whole run; each round the main loop carves the
+// active list into chunks, feeds them through a channel, and waits on one
+// barrier. Distinct chunks touch distinct vertices, so workers never write
+// the same outbox or halt slot.
+type computePool struct {
+	jobs chan chunk
+	wg   sync.WaitGroup
+}
+
+func newComputePool(workers int, work func(lo, hi, round int)) *computePool {
+	p := &computePool{jobs: make(chan chunk, workers)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for c := range p.jobs {
+				work(c.lo, c.hi, c.round)
+				p.wg.Done()
 			}
-			out, halt := procs[v].Round(round, inboxes[v])
+		}()
+	}
+	return p
+}
+
+func (p *computePool) runRound(round, active int) {
+	// Chunk size balances scheduling overhead against load balance: aim
+	// for a few chunks per worker, but never chunks so small that channel
+	// traffic dominates the per-vertex work.
+	chunkSize := (active + cap(p.jobs)*4 - 1) / (cap(p.jobs) * 4)
+	if chunkSize < 16 {
+		chunkSize = 16
+	}
+	for lo := 0; lo < active; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > active {
+			hi = active
+		}
+		p.wg.Add(1)
+		p.jobs <- chunk{lo: lo, hi: hi, round: round}
+	}
+	p.wg.Wait()
+}
+
+func (p *computePool) close() { close(p.jobs) }
+
+func (nw *Network) run(engine Engine, factory Factory, maxRounds, maxMsgWords int) (*Result, error) {
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	n := nw.topo.N()
+	w := nw.wires
+	// Guard against the topology having been mutated after NewNetwork:
+	// the wires are a construction-time snapshot, and running over a
+	// stale snapshot would silently misroute messages.
+	if nw.topo.N() != len(w.offsets)-1 {
+		return nil, fmt.Errorf("local: topology grew to %d vertices after NewNetwork (had %d)", nw.topo.N(), len(w.offsets)-1)
+	}
+	total := 0
+	for v := 0; v < n; v++ {
+		total += len(nw.topo.Neighbors(v))
+	}
+	if total != len(w.targets) {
+		return nil, fmt.Errorf("local: topology has %d arcs but NewNetwork snapshotted %d; mutating the topology after NewNetwork is not supported", total, len(w.targets))
+	}
+	procs := make([]Process, n)
+	for v := 0; v < n; v++ {
+		procs[v] = factory(v)
+		procs[v].Init(NodeInfo{ID: nw.ids[v], Ports: w.degree(int32(v)), N: n})
+	}
+	halted := make([]bool, n)
+	// inbox[w.offsets[v]+p]: message arriving at v on port p this round.
+	inbox := make([]Message, len(w.targets))
+	outboxes := make([][]Message, n)
+	// active lists the non-halted vertices in ascending order; compute and
+	// delivery iterate it so halted vertices cost nothing.
+	active := make([]int32, n)
+	for v := range active {
+		active[v] = int32(v)
+	}
+
+	step := func(lo, hi, round int) {
+		for i := lo; i < hi; i++ {
+			v := active[i]
+			in := inbox[w.offsets[v]:w.offsets[v+1]]
+			out, halt := procs[v].Round(round, in)
 			outboxes[v] = out
 			if halt {
 				halted[v] = true
 			}
 		}
-		if engine == Parallel {
-			var wg sync.WaitGroup
-			for v := 0; v < n; v++ {
-				wg.Add(1)
-				go func(v int) {
-					defer wg.Done()
-					step(v)
-				}(v)
-			}
-			wg.Wait()
+	}
+
+	var pool *computePool
+	if engine == Parallel {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
+		if workers > 1 {
+			pool = newComputePool(workers, step)
+			defer pool.close()
+		}
+	}
+
+	var stats Stats
+	for round := 1; len(active) > 0; round++ {
+		if round > maxRounds {
+			return nil, fmt.Errorf("local: exceeded %d rounds without global halt", maxRounds)
+		}
+		stats.Rounds = round
+		// Compute phase.
+		if pool != nil {
+			pool.runRound(round, len(active))
 		} else {
-			for v := 0; v < n; v++ {
-				step(v)
-			}
+			step(0, len(active), round)
 		}
-		// Deliver phase.
-		numHalted = 0
-		for v := 0; v < n; v++ {
+		// Clear the receive slots of every vertex still able to receive,
+		// then deliver. Vertices halted before this round are not in
+		// active; slots of vertices that halted this round are never read
+		// again, so skipping them is safe.
+		for _, v := range active {
 			if halted[v] {
-				numHalted++
+				continue
 			}
-			for p := range inboxes[v] {
-				inboxes[v][p] = nil
+			in := inbox[w.offsets[v]:w.offsets[v+1]]
+			for p := range in {
+				in[p] = nil
 			}
 		}
-		for v := 0; v < n; v++ {
+		// Deliver phase, in ascending vertex order for deterministic stats.
+		for _, v := range active {
 			out := outboxes[v]
 			if out == nil {
 				continue
 			}
-			nbrs := nw.topo.Neighbors(v)
-			if len(out) > len(nbrs) {
-				return nil, fmt.Errorf("local: vertex %d sent on %d ports but has %d", v, len(out), len(nbrs))
+			deg := w.degree(v)
+			if len(out) > deg {
+				return nil, fmt.Errorf("local: vertex %d sent on %d ports but has %d", v, len(out), deg)
 			}
+			base := w.offsets[v]
 			for i, msg := range out {
 				if msg == nil {
 					continue
 				}
-				u := nbrs[i]
+				k := base + int32(i)
+				u := w.targets[k]
 				if halted[u] {
 					continue // dropped: recipient already halted
 				}
@@ -238,14 +386,23 @@ func (nw *Network) run(engine Engine, factory Factory, maxRounds, maxMsgWords in
 				if maxMsgWords > 0 && size > maxMsgWords {
 					return nil, fmt.Errorf("local: CONGEST violation in round %d: vertex %d sent %d words (limit %d)", round, v, size, maxMsgWords)
 				}
-				inboxes[u][portAt[v][i]] = msg
+				inbox[w.revSlot[k]] = msg
 				stats.Messages++
 				stats.Words += int64(size)
 				if size > stats.MaxMessageWords {
 					stats.MaxMessageWords = size
 				}
 			}
+			outboxes[v] = nil
 		}
+		// Compact the active list in place, preserving order.
+		live := active[:0]
+		for _, v := range active {
+			if !halted[v] {
+				live = append(live, v)
+			}
+		}
+		active = live
 	}
 	outputs := make([]any, n)
 	for v := 0; v < n; v++ {

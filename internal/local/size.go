@@ -24,11 +24,11 @@ func messageSize(m Message) int {
 }
 
 // EstimatedSize reports the gather message's payload: one word per record
-// key plus one per adjacency entry.
+// identifier plus one per adjacency entry.
 func (m *gatherMsg) EstimatedSize() int {
 	size := 0
-	for _, nbrs := range m.records {
-		size += 1 + len(nbrs)
+	for _, rec := range m.records {
+		size += 1 + len(rec.nbrs)
 	}
 	return size
 }
