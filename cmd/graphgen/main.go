@@ -8,66 +8,54 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 
-	"localmds/internal/ding"
 	"localmds/internal/gen"
-	"localmds/internal/graph"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	kind := flag.String("kind", "ding", "generator kind")
-	n := flag.Int("n", 60, "target size")
-	tParam := flag.Int("t", 5, "K_{2,t} parameter (ding)")
-	seed := flag.Int64("seed", 1, "seed")
-	p := flag.Float64("p", 0.05, "edge probability (gnp)")
-	format := flag.String("format", "json", "output format: json|dot")
-	out := flag.String("o", "", "output file (default stdout)")
-	flag.Parse()
-
-	rng := rand.New(rand.NewSource(*seed))
-	var g *graph.Graph
-	var err error
-	switch *kind {
-	case "ding":
-		g, err = ding.Generate(ding.Config{Kind: ding.Mixed, N: *n, T: *tParam}, rng)
-	case "cactus":
-		g = gen.RandomCactus(*n, rng)
-	case "tree":
-		g = gen.RandomTree(*n, rng)
-	case "cycle":
-		g = gen.Cycle(*n)
-	case "grid":
-		side := 1
-		for (side+1)*(side+1) <= *n {
-			side++
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	kind := fs.String("kind", "ding", "generator kind: "+gen.Kinds)
+	n := fs.Int("n", 60, "target size")
+	tParam := fs.Int("t", 5, "K_{2,t} parameter (ding)")
+	seed := fs.Int64("seed", 1, "seed")
+	p := fs.Float64("p", 0.05, "edge probability (gnp)")
+	format := fs.String("format", "json", "output format: json|dot")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h prints usage and exits 0, as before the FlagSet refactor
 		}
-		g = gen.Grid(side, side)
-	case "outerplanar":
-		g = gen.MaximalOuterplanar(*n, rng)
-	case "cliquependants":
-		g = gen.CliquePendants(*n / 2)
-	case "gnp":
-		g = gen.GNPConnected(*n, *p, rng)
-	default:
-		return fmt.Errorf("unknown kind %q", *kind)
+		return err
 	}
+	if *n < 1 {
+		return fmt.Errorf("-n must be >= 1, got %d", *n)
+	}
+	if *kind == "ding" && *tParam < 3 {
+		return fmt.Errorf("-t must be >= 3 for the ding generator, got %d", *tParam)
+	}
+	if *p < 0 || *p > 1 {
+		return fmt.Errorf("-p must be a probability in [0, 1], got %g", *p)
+	}
+
+	g, err := gen.FromKind(*kind, *n, *tParam, *p, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		return err
 	}
 
-	var w io.Writer = os.Stdout
+	var w io.Writer = stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {

@@ -4,7 +4,16 @@
 //
 // Usage:
 //
-//	mdsbench [-seed N] [-n N] [-process-n N] [-only table1|mvc|lemmas|spqr|prop31|cycle|ablation] [-json]
+//	mdsbench [-seed N] [-rootseed N] [-n N] [-process-n N] [-parallel W]
+//	         [-replicates R] [-only table1|mvc|lemmas|spqr|prop31|cycle|ablation]
+//	         [-json]
+//
+// Experiments are decomposed into independent tasks (internal/experiments
+// declares them; internal/runner executes them on a bounded worker pool).
+// Every (experiment, row, replicate) cell derives its own seed from the
+// root seed, so the tables are byte-identical for a fixed root seed
+// regardless of -parallel, and -replicates R aggregates R independently
+// seeded runs per row as "mean ±stddev [min..max]".
 //
 // With -json, results are emitted as machine-readable JSON (per group:
 // name, wall-clock ns, allocation count; per table row: the raw cells plus
@@ -14,28 +23,30 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
-	"strconv"
 	"strings"
 	"time"
 
 	"localmds/internal/experiments"
+	"localmds/internal/runner"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "mdsbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// group is one experiment family: a name and a runner producing its tables.
+// group is one experiment family: a name and the specs it renders.
 type group struct {
-	name string
-	run  func() ([]*experiments.Table, error)
+	name  string
+	specs []experiments.Spec
 }
 
 // rowJSON is one table row with metrics parsed out where available.
@@ -61,98 +72,113 @@ type groupJSON struct {
 	Tables   []tableJSON `json:"tables"`
 }
 
-func run() error {
-	seed := flag.Int64("seed", 1, "generator seed")
-	n := flag.Int("n", 120, "instance size for ratio measurements")
-	processN := flag.Int("process-n", 48, "instance size for simulator round measurements")
-	only := flag.String("only", "", "run a single experiment group (table1|mvc|lemmas|spqr|prop31|cycle|ablation)")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results")
-	flag.Parse()
-
-	cfg := experiments.Table1Config{Seed: *seed, N: *n, ProcessN: *processN}
-	one := func(t *experiments.Table, err error) ([]*experiments.Table, error) {
-		if err != nil {
-			return nil, err
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mdsbench", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "generator root seed")
+	rootSeed := fs.Int64("rootseed", 0, "root of the per-task seed derivation tree (0: use -seed)")
+	n := fs.Int("n", 120, "instance size for ratio measurements")
+	processN := fs.Int("process-n", 48, "instance size for simulator round measurements")
+	parallel := fs.Int("parallel", 0, "experiment worker pool size (0: all cores)")
+	replicates := fs.Int("replicates", 1, "independently seeded runs per task, aggregated as mean ±stddev [min..max]")
+	only := fs.String("only", "", "run a single experiment group (table1|mvc|lemmas|spqr|prop31|cycle|ablation)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON results")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h prints usage and exits 0, as before the FlagSet refactor
 		}
-		return []*experiments.Table{t}, nil
+		return err
 	}
+	if *n < 8 {
+		return fmt.Errorf("-n must be >= 8 (the lemma sweeps generate instances down to n/4), got %d", *n)
+	}
+	if *processN < 3 {
+		return fmt.Errorf("-process-n must be >= 3, got %d", *processN)
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0, got %d", *parallel)
+	}
+	if *replicates < 1 {
+		return fmt.Errorf("-replicates must be >= 1, got %d", *replicates)
+	}
+	root := *seed
+	if *rootSeed != 0 {
+		root = *rootSeed
+	}
+
+	cfg := experiments.Table1Config{Seed: root, N: *n, ProcessN: *processN}
 	groups := []group{
-		{"table1", func() ([]*experiments.Table, error) { return one(experiments.Table1(cfg)) }},
-		{"mvc", func() ([]*experiments.Table, error) { return one(experiments.MVCTable(cfg)) }},
-		{"lemmas", func() ([]*experiments.Table, error) {
-			l32, err := experiments.Lemma32(*seed, []int{*n / 2, *n}, 3)
-			if err != nil {
-				return nil, fmt.Errorf("lemma 3.2: %w", err)
-			}
-			l33, err := experiments.Lemma33(*seed, []int{*n / 2, *n}, 3)
-			if err != nil {
-				return nil, fmt.Errorf("lemma 3.3: %w", err)
-			}
-			l42, err := experiments.Lemma42(*seed, []int{*n, 2 * *n, 4 * *n})
-			if err != nil {
-				return nil, fmt.Errorf("lemma 4.2: %w", err)
-			}
-			l518, err := experiments.Lemma518(*seed, []int{*n / 2, *n}, 5)
-			if err != nil {
-				return nil, fmt.Errorf("lemma 5.18: %w", err)
-			}
-			return []*experiments.Table{l32, l33, l42, l518}, nil
+		{"table1", []experiments.Spec{experiments.Table1Spec(cfg)}},
+		{"mvc", []experiments.Spec{experiments.MVCTableSpec(cfg)}},
+		{"lemmas", []experiments.Spec{
+			experiments.Lemma32Spec([]int{*n / 2, *n}, 3),
+			experiments.Lemma33Spec([]int{*n / 2, *n}, 3),
+			experiments.Lemma42Spec([]int{*n, 2 * *n, 4 * *n}),
+			experiments.Lemma518Spec([]int{*n / 2, *n}, 5),
 		}},
-		{"cycle", func() ([]*experiments.Table, error) {
-			return []*experiments.Table{experiments.CycleLocalCuts([]int{30, 100, 300, 1000}, 3)}, nil
+		{"cycle", []experiments.Spec{experiments.CycleLocalCutsSpec([]int{30, 100, 300, 1000}, 3)}},
+		{"spqr", []experiments.Spec{experiments.SPQRStatsSpec([]int{16, 24, 32})}},
+		{"prop31", []experiments.Spec{experiments.Proposition31Spec(cfg)}},
+		{"ablation", []experiments.Spec{
+			experiments.RadiusAblationSpec(*n, []int{2, 3, 4, 5, 6}),
+			experiments.RoundsVsTSpec(*processN, []int{3, 4, 5, 6}),
+			experiments.ScalingSpec([]int{*n, 2 * *n, 4 * *n, 8 * *n}),
+			experiments.MessageFootprintSpec(*processN),
+			experiments.DensityTableSpec(*n),
+			experiments.BaselinesSpec([]int{*n, 2 * *n, 4 * *n}),
 		}},
-		{"spqr", func() ([]*experiments.Table, error) {
-			return one(experiments.SPQRStats(*seed, []int{16, 24, 32}))
-		}},
-		{"prop31", func() ([]*experiments.Table, error) { return one(experiments.Proposition31(cfg)) }},
-		{"ablation", func() ([]*experiments.Table, error) {
-			rad, err := experiments.RadiusAblation(*seed, *n, []int{2, 3, 4, 5, 6})
-			if err != nil {
-				return nil, fmt.Errorf("radius ablation: %w", err)
+	}
+	if *only != "" {
+		found := false
+		for _, grp := range groups {
+			if grp.name == *only {
+				found = true
 			}
-			rvt, err := experiments.RoundsVsT(*seed, *processN, []int{3, 4, 5, 6})
-			if err != nil {
-				return nil, fmt.Errorf("rounds vs t: %w", err)
-			}
-			sc, err := experiments.Scaling(*seed, []int{*n, 2 * *n, 4 * *n, 8 * *n})
-			if err != nil {
-				return nil, fmt.Errorf("scaling: %w", err)
-			}
-			mf, err := experiments.MessageFootprint(*seed, *processN)
-			if err != nil {
-				return nil, fmt.Errorf("message footprint: %w", err)
-			}
-			dt, err := experiments.DensityTable(*seed, *n)
-			if err != nil {
-				return nil, fmt.Errorf("density table: %w", err)
-			}
-			bl, err := experiments.Baselines(*seed, []int{*n, 2 * *n, 4 * *n})
-			if err != nil {
-				return nil, fmt.Errorf("baselines: %w", err)
-			}
-			return []*experiments.Table{rad, rvt, sc, mf, dt, bl}, nil
-		}},
+		}
+		if !found {
+			return fmt.Errorf("unknown experiment group %q", *only)
+		}
+	}
+
+	// One runner (and one result cache) across every group, so a repeated
+	// sweep within the process skips identical tasks.
+	r := runner.New(runner.Options{Workers: *parallel, Replicates: *replicates, RootSeed: root})
+
+	selected := groups[:0]
+	for _, grp := range groups {
+		if *only == "" || *only == grp.name {
+			selected = append(selected, grp)
+		}
+	}
+
+	if !*jsonOut {
+		// Text mode needs no per-group timing, so every group's specs go
+		// into one pool submission: no barrier between groups, and the
+		// wall-clock floor is the single longest task, not the sum of
+		// per-group stragglers.
+		var specs []experiments.Spec
+		for _, grp := range selected {
+			specs = append(specs, grp.specs...)
+		}
+		tables, err := r.Run(specs)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			fmt.Fprintln(stdout, t.Render())
+		}
+		return nil
 	}
 
 	results := []groupJSON{}
-	for _, grp := range groups {
-		if *only != "" && *only != grp.name {
-			continue
-		}
+	for _, grp := range selected {
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		tables, err := grp.run()
+		tables, err := r.Run(grp.specs)
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
 		if err != nil {
 			return fmt.Errorf("%s: %w", grp.name, err)
-		}
-		if !*jsonOut {
-			for _, t := range tables {
-				fmt.Println(t.Render())
-			}
-			continue
 		}
 		gj := groupJSON{
 			Name:     grp.name,
@@ -164,12 +190,9 @@ func run() error {
 		}
 		results = append(results, gj)
 	}
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(map[string]any{"results": results})
-	}
-	return nil
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"results": results})
 }
 
 // structureTable converts a rendered table into its JSON form, parsing
@@ -202,25 +225,11 @@ func structureTable(t *experiments.Table) tableJSON {
 	return tj
 }
 
-// parseLeadingFloat extracts the first number from a cell like
-// "1.23 (37/30)" or "<=14 est"; it returns nil when the cell has none.
+// parseLeadingFloat adapts experiments.LeadingFloat to the JSON schema's
+// optional-number convention (nil when the cell has no number).
 func parseLeadingFloat(cell string) *float64 {
-	start := -1
-	for i, r := range cell {
-		if r >= '0' && r <= '9' {
-			start = i
-			break
-		}
-	}
-	if start < 0 {
-		return nil
-	}
-	end := start
-	for end < len(cell) && (cell[end] >= '0' && cell[end] <= '9' || cell[end] == '.') {
-		end++
-	}
-	f, err := strconv.ParseFloat(cell[start:end], 64)
-	if err != nil {
+	f, ok := experiments.LeadingFloat(cell)
+	if !ok {
 		return nil
 	}
 	return &f

@@ -6,18 +6,19 @@
 // Usage:
 //
 //	mdsrun -alg alg1|alg1-local|d2|d2-local|tree|greedy|exact|mvc-alg1|mvc-d2 \
-//	       [-graph ding|cactus|tree|cycle|grid|outerplanar|cliquependants] \
-//	       [-in graph.json] [-n N] [-t T] [-seed S] [-r1 R] [-r2 R] [-dot out.dot]
+//	       [-graph ding|cactus|tree|cycle|grid|outerplanar|cliquependants|gnp] \
+//	       [-in graph.json] [-n N] [-t T] [-seed S] [-p P] [-r1 R] [-r2 R] [-dot out.dot]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
 	"localmds/internal/core"
-	"localmds/internal/ding"
 	"localmds/internal/gen"
 	"localmds/internal/graph"
 	"localmds/internal/local"
@@ -25,55 +26,84 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "mdsrun: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	alg := flag.String("alg", "alg1", "algorithm: alg1|alg1-local|d2|d2-local|tree|greedy|exact|mvc-alg1|mvc-d2")
-	kind := flag.String("graph", "ding", "generator: ding|cactus|tree|cycle|grid|outerplanar|cliquependants")
-	in := flag.String("in", "", "load graph from JSON instead of generating")
-	n := flag.Int("n", 60, "target size for generated graphs")
-	tParam := flag.Int("t", 5, "K_{2,t} parameter for the ding generator")
-	seed := flag.Int64("seed", 1, "generator seed")
-	r1 := flag.Int("r1", 4, "Algorithm 1 local 1-cut radius")
-	r2 := flag.Int("r2", 4, "Algorithm 1 local 2-cut radius")
-	dotOut := flag.String("dot", "", "write the graph with the solution highlighted to this DOT file")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mdsrun", flag.ContinueOnError)
+	alg := fs.String("alg", "alg1", "algorithm: alg1|alg1-local|d2|d2-local|tree|greedy|exact|mvc-alg1|mvc-d2")
+	kind := fs.String("graph", "ding", "generator: "+gen.Kinds)
+	in := fs.String("in", "", "load graph from JSON instead of generating")
+	n := fs.Int("n", 60, "target size for generated graphs")
+	tParam := fs.Int("t", 5, "K_{2,t} parameter for the ding generator")
+	seed := fs.Int64("seed", 1, "generator seed")
+	p := fs.Float64("p", 0.05, "edge probability (gnp)")
+	r1 := fs.Int("r1", 4, "Algorithm 1 local 1-cut radius")
+	r2 := fs.Int("r2", 4, "Algorithm 1 local 2-cut radius")
+	dotOut := fs.String("dot", "", "write the graph with the solution highlighted to this DOT file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h prints usage and exits 0, as before the FlagSet refactor
+		}
+		return err
+	}
+	if *in == "" {
+		if *n < 1 {
+			return fmt.Errorf("-n must be >= 1, got %d", *n)
+		}
+		if *kind == "ding" && *tParam < 3 {
+			return fmt.Errorf("-t must be >= 3 for the ding generator, got %d", *tParam)
+		}
+		if *p < 0 || *p > 1 {
+			return fmt.Errorf("-p must be a probability in [0, 1], got %g", *p)
+		}
+	}
+	if *r1 < 0 || *r2 < 0 {
+		return fmt.Errorf("-r1 and -r2 must be >= 0, got %d and %d", *r1, *r2)
+	}
 
-	g, err := loadGraph(*in, *kind, *n, *tParam, *seed)
+	g, err := loadGraph(*in, *kind, *n, *tParam, *p, *seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph: %s (diameter %d)\n", g, g.Diameter())
+	if comps := g.NumComponents(); comps > 1 {
+		// On a disconnected graph the plain "diameter" would silently be
+		// the largest within-component eccentricity, which reads as a
+		// tiny connected graph; say what is actually being reported.
+		fmt.Fprintf(stdout, "graph: %s (%d components, diameter %d = max eccentricity over reachable pairs)\n",
+			g, comps, g.Diameter())
+	} else {
+		fmt.Fprintf(stdout, "graph: %s (diameter %d)\n", g, g.Diameter())
+	}
 
 	sol, stats, err := solve(g, *alg, core.Params{R1: *r1, R2: *r2})
 	if err != nil {
 		return err
 	}
 	isMVC := *alg == "mvc-alg1" || *alg == "mvc-d2"
-	fmt.Printf("algorithm: %s\nsolution size: %d\n", *alg, len(sol))
+	fmt.Fprintf(stdout, "algorithm: %s\nsolution size: %d\n", *alg, len(sol))
 	if isMVC {
-		fmt.Printf("valid vertex cover: %v\n", mds.IsVertexCover(g, sol))
+		fmt.Fprintf(stdout, "valid vertex cover: %v\n", mds.IsVertexCover(g, sol))
 	} else {
-		fmt.Printf("valid dominating set: %v\n", mds.IsDominatingSet(g, sol))
+		fmt.Fprintf(stdout, "valid dominating set: %v\n", mds.IsDominatingSet(g, sol))
 	}
 	if stats != nil {
-		fmt.Printf("LOCAL rounds: %d, messages: %d\n", stats.Rounds, stats.Messages)
+		fmt.Fprintf(stdout, "LOCAL rounds: %d, messages: %d\n", stats.Rounds, stats.Messages)
 	}
 	if g.N() <= mds.MaxExactMDSVertices {
 		opt, err := optimum(g, isMVC)
 		if err == nil && opt > 0 {
-			fmt.Printf("optimum: %d, ratio: %.3f\n", opt, float64(len(sol))/float64(opt))
+			fmt.Fprintf(stdout, "optimum: %d, ratio: %.3f\n", opt, float64(len(sol))/float64(opt))
 		}
 	}
 	if *dotOut != "" {
 		if err := os.WriteFile(*dotOut, []byte(g.DOT("solution", sol)), 0o644); err != nil {
 			return fmt.Errorf("write dot: %w", err)
 		}
-		fmt.Printf("wrote %s\n", *dotOut)
+		fmt.Fprintf(stdout, "wrote %s\n", *dotOut)
 	}
 	return nil
 }
@@ -88,7 +118,9 @@ func optimum(g *graph.Graph, isMVC bool) (int, error) {
 	return len(sol), err
 }
 
-func loadGraph(in, kind string, n, tParam int, seed int64) (*graph.Graph, error) {
+// loadGraph reads the instance from JSON or generates it via the shared
+// gen.FromKind dispatch (which converts generator panics into errors).
+func loadGraph(in, kind string, n, tParam int, p float64, seed int64) (*graph.Graph, error) {
 	if in != "" {
 		f, err := os.Open(in)
 		if err != nil {
@@ -97,29 +129,7 @@ func loadGraph(in, kind string, n, tParam int, seed int64) (*graph.Graph, error)
 		defer f.Close()
 		return graph.ReadJSON(f)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	switch kind {
-	case "ding":
-		return ding.Generate(ding.Config{Kind: ding.Mixed, N: n, T: tParam}, rng)
-	case "cactus":
-		return gen.RandomCactus(n, rng), nil
-	case "tree":
-		return gen.RandomTree(n, rng), nil
-	case "cycle":
-		return gen.Cycle(n), nil
-	case "grid":
-		side := 1
-		for (side+1)*(side+1) <= n {
-			side++
-		}
-		return gen.Grid(side, side), nil
-	case "outerplanar":
-		return gen.MaximalOuterplanar(n, rng), nil
-	case "cliquependants":
-		return gen.CliquePendants(n / 2), nil
-	default:
-		return nil, fmt.Errorf("unknown generator %q", kind)
-	}
+	return gen.FromKind(kind, n, tParam, p, rand.New(rand.NewSource(seed)))
 }
 
 func solve(g *graph.Graph, alg string, p core.Params) ([]int, *local.Stats, error) {

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"localmds/internal/graph"
+)
+
+func TestRunCycleAlg1(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-graph", "cycle", "-n", "30", "-alg", "alg1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"graph: Graph(n=30, m=30) (diameter 15)",
+		"valid dominating set: true",
+		"optimum: 10",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunDistributedReportsRounds(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-graph", "cycle", "-n", "24", "-alg", "d2-local"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "LOCAL rounds: ") {
+		t.Errorf("distributed run did not report rounds:\n%s", out.String())
+	}
+}
+
+func TestRunMVC(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-graph", "cycle", "-n", "18", "-alg", "mvc-d2"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "valid vertex cover: true") {
+		t.Errorf("MVC run invalid:\n%s", out.String())
+	}
+}
+
+// TestRunFromJSONDisconnected drives the generate → encode → solve
+// round-trip and checks the disconnected-graph report: a 3-component
+// graph must say so instead of printing a misleading bare "(diameter 1)".
+func TestRunFromJSONDisconnected(t *testing.T) {
+	g := graph.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(4, 5)
+	path := filepath.Join(t.TempDir(), "g.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out strings.Builder
+	if err := run([]string{"-in", path, "-alg", "greedy"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "3 components") {
+		t.Errorf("disconnected graph not reported as such:\n%s", got)
+	}
+	if !strings.Contains(got, "diameter 1 = max eccentricity over reachable pairs") {
+		t.Errorf("disconnected diameter not labeled:\n%s", got)
+	}
+	if !strings.Contains(got, "valid dominating set: true") {
+		t.Errorf("greedy solution invalid on disconnected graph:\n%s", got)
+	}
+}
+
+func TestRunConnectedKeepsPlainDiameterLine(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-graph", "grid", "-n", "16", "-alg", "greedy"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "(diameter 6)\n") {
+		t.Errorf("connected graph line changed:\n%s", out.String())
+	}
+}
+
+func TestRunWritesDOT(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.dot")
+	var out strings.Builder
+	if err := run([]string{"-graph", "cycle", "-n", "12", "-dot", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("dot file: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "graph ") {
+		t.Errorf("dot file malformed: %q", string(data)[:20])
+	}
+}
+
+func TestInvalidInputsErrorCleanly(t *testing.T) {
+	cases := [][]string{
+		{"-graph", "cycle", "-n", "0"},                    // zero size
+		{"-graph", "cycle", "-n", "-3"},                   // negative size
+		{"-graph", "cycle", "-n", "2"},                    // below the generator's minimum (panics in gen)
+		{"-graph", "ding", "-t", "1"},                     // invalid K_{2,t} parameter
+		{"-graph", "nosuch"},                              // unknown generator
+		{"-alg", "nosuch", "-graph", "cycle", "-n", "12"}, // unknown algorithm
+		{"-r1", "-1", "-graph", "cycle", "-n", "12"},      // negative radius
+		{"-in", "/nonexistent/graph.json"},                // missing input file
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("run(%v) panicked: %v", args, r)
+				}
+			}()
+			return run(args, &out)
+		}()
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

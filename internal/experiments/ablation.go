@@ -10,122 +10,161 @@ import (
 	"localmds/internal/mds"
 )
 
-// RadiusAblation sweeps Algorithm 1's radii on one instance: larger radii
-// detect fewer local cuts (monotone, §2), shifting work from the cut phase
-// to the brute-force phase. The paper's analysis needs the huge paper radii
-// only for the proof; this table shows how the measured ratio, the cut-set
-// sizes, and the residual diameter actually move with the radius.
-func RadiusAblation(seed int64, n int, radii []int) (*Table, error) {
-	t := &Table{
+// RadiusAblationSpec declares Algorithm 1's radius sweep on one instance:
+// larger radii detect fewer local cuts (monotone, §2), shifting work from
+// the cut phase to the brute-force phase. The paper's analysis needs the
+// huge paper radii only for the proof; this table shows how the measured
+// ratio, the cut-set sizes, and the residual diameter actually move with
+// the radius. The sweep is a single task: every radius row must observe
+// the same generated instance (and shares its exact-OPT computation).
+func RadiusAblationSpec(n int, radii []int) Spec {
+	s := Spec{
+		Name:   "radius-ablation",
 		Title:  "Ablation — Algorithm 1 radius sweep (ding Mixed, T=5)",
 		Header: []string{"R1=R2", "|X|", "|I|", "components", "max diam", "|S|", "ratio", "rounds est"},
 	}
-	rng := rand.New(rand.NewSource(seed))
-	g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: 5}, rng)
-	opt, err := mds.ExactMDS(g)
-	if err != nil {
-		return nil, fmt.Errorf("radius ablation opt: %w", err)
-	}
-	for _, r := range radii {
-		p := core.Params{R1: r, R2: r}
-		res, err := core.Alg1(g, p)
+	s.Tasks = append(s.Tasks, Task{Row: "sweep", Params: fmt.Sprintf("n=%d,radii=%v", n, radii), Run: func(seed int64) ([][]string, error) {
+		rng := rand.New(rand.NewSource(seed))
+		g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: 5}, rng)
+		opt, err := mds.ExactMDS(g)
 		if err != nil {
-			return nil, fmt.Errorf("radius ablation r=%d: %w", r, err)
+			return nil, fmt.Errorf("radius ablation opt: %w", err)
 		}
-		t.AddRow(fmt.Sprint(r), fmt.Sprint(len(res.X)), fmt.Sprint(len(res.I)),
-			fmt.Sprint(len(res.Components)), fmt.Sprint(res.MaxComponentDiameter),
-			fmt.Sprint(len(res.S)), ratioString(len(res.S), len(opt)),
-			fmt.Sprint(res.RoundsEstimate))
-	}
-	return t, nil
+		var rows [][]string
+		for _, r := range radii {
+			p := core.Params{R1: r, R2: r}
+			res, err := core.Alg1(g, p)
+			if err != nil {
+				return nil, fmt.Errorf("radius ablation r=%d: %w", r, err)
+			}
+			rows = append(rows, []string{fmt.Sprint(r), fmt.Sprint(len(res.X)), fmt.Sprint(len(res.I)),
+				fmt.Sprint(len(res.Components)), fmt.Sprint(res.MaxComponentDiameter),
+				fmt.Sprint(len(res.S)), ratioString(len(res.S), len(opt)),
+				fmt.Sprint(res.RoundsEstimate)})
+		}
+		return rows, nil
+	}})
+	return s
 }
 
-// RoundsVsT measures Theorem 4.1's "running time linear in t" claim: the
-// paper radii grow linearly in t, so the gather horizon (and hence the
-// round count) does too. The distributed run uses scaled-down radii with
-// the same linear shape (the paper values exceed any simulatable
-// diameter).
-func RoundsVsT(seed int64, n int, ts []int) (*Table, error) {
-	t := &Table{
+// RadiusAblation runs RadiusAblationSpec sequentially with seed as root.
+func RadiusAblation(seed int64, n int, radii []int) (*Table, error) {
+	return RadiusAblationSpec(n, radii).RunSequential(seed)
+}
+
+// RoundsVsTSpec declares Theorem 4.1's "running time linear in t"
+// measurement: the paper radii grow linearly in t, so the gather horizon
+// (and hence the round count) does too. The distributed run uses
+// scaled-down radii with the same linear shape (the paper values exceed
+// any simulatable diameter). One task per t.
+func RoundsVsTSpec(n int, ts []int) Spec {
+	s := Spec{
+		Name:   "rounds-vs-t",
 		Title:  "Theorem 4.1 — rounds grow linearly in t (paper radii vs scaled measured)",
 		Header: []string{"t", "paper R1", "paper R2", "paper gather radius", "scaled R1=R2", "measured rounds"},
 	}
-	rng := rand.New(rand.NewSource(seed))
 	for _, tt := range ts {
-		paper := core.PaperParams(tt)
-		scaled := core.Params{R1: tt, R2: tt}
-		g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: tt}, rng)
-		_, stats, err := core.RunAlg1(g, nil, scaled, local.Sequential)
-		if err != nil {
-			return nil, fmt.Errorf("rounds-vs-t t=%d: %w", tt, err)
-		}
-		t.AddRow(fmt.Sprint(tt), fmt.Sprint(paper.R1), fmt.Sprint(paper.R2),
-			fmt.Sprint(paper.GatherRadius()), fmt.Sprint(scaled.R1),
-			fmt.Sprint(stats.Rounds))
+		s.Tasks = append(s.Tasks, Task{Row: fmt.Sprintf("t%d", tt), Params: fmt.Sprintf("n=%d", n), Run: func(seed int64) ([][]string, error) {
+			rng := rand.New(rand.NewSource(seed))
+			paper := core.PaperParams(tt)
+			scaled := core.Params{R1: tt, R2: tt}
+			g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: tt}, rng)
+			_, stats, err := core.RunAlg1(g, nil, scaled, local.Sequential)
+			if err != nil {
+				return nil, fmt.Errorf("rounds-vs-t t=%d: %w", tt, err)
+			}
+			return [][]string{{fmt.Sprint(tt), fmt.Sprint(paper.R1), fmt.Sprint(paper.R2),
+				fmt.Sprint(paper.GatherRadius()), fmt.Sprint(scaled.R1),
+				fmt.Sprint(stats.Rounds)}}, nil
+		}})
 	}
-	return t, nil
+	return s
 }
 
-// Scaling measures Algorithm 1's solution quality as n grows. The
+// RoundsVsT runs RoundsVsTSpec sequentially with seed as root.
+func RoundsVsT(seed int64, n int, ts []int) (*Table, error) {
+	return RoundsVsTSpec(n, ts).RunSequential(seed)
+}
+
+// ScalingSpec declares Algorithm 1's solution quality as n grows. The
 // treewidth-2 DP supplies the true optimum at every size (the workload
 // classes all have treewidth <= 2), with the 2-packing bound shown as a
-// sanity reference.
-func Scaling(seed int64, ns []int) (*Table, error) {
-	t := &Table{
+// sanity reference. One task per n: the exact solver on the largest
+// instance dominates, so sizes load-balance across workers.
+func ScalingSpec(ns []int) Spec {
+	s := Spec{
+		Name:   "scaling",
 		Title:  "Scaling — Algorithm 1 on growing ding Mixed instances (exact OPT via treewidth DP)",
 		Header: []string{"n", "|S|", "OPT", "ratio", "2-packing LB", "max comp diam"},
 	}
-	rng := rand.New(rand.NewSource(seed))
 	for _, n := range ns {
-		g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: 5}, rng)
-		res, err := core.Alg1(g, core.PracticalParams())
-		if err != nil {
-			return nil, fmt.Errorf("scaling n=%d: %w", n, err)
-		}
-		opt, err := mds.ExactMDS(g)
-		if err != nil {
-			return nil, fmt.Errorf("scaling opt n=%d: %w", n, err)
-		}
-		lb := len(mds.TwoPacking(g))
-		t.AddRow(fmt.Sprint(g.N()), fmt.Sprint(len(res.S)), fmt.Sprint(len(opt)),
-			ratioString(len(res.S), len(opt)), fmt.Sprint(lb), fmt.Sprint(res.MaxComponentDiameter))
+		s.Tasks = append(s.Tasks, Task{Row: fmt.Sprintf("n%d", n), Params: fmt.Sprintf("n=%d", n), Run: func(seed int64) ([][]string, error) {
+			rng := rand.New(rand.NewSource(seed))
+			g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: 5}, rng)
+			res, err := core.Alg1(g, core.PracticalParams())
+			if err != nil {
+				return nil, fmt.Errorf("scaling n=%d: %w", n, err)
+			}
+			opt, err := mds.ExactMDS(g)
+			if err != nil {
+				return nil, fmt.Errorf("scaling opt n=%d: %w", n, err)
+			}
+			lb := len(mds.TwoPacking(g))
+			return [][]string{{fmt.Sprint(g.N()), fmt.Sprint(len(res.S)), fmt.Sprint(len(opt)),
+				ratioString(len(res.S), len(opt)), fmt.Sprint(lb), fmt.Sprint(res.MaxComponentDiameter)}}, nil
+		}})
 	}
-	return t, nil
+	return s
 }
 
-// MessageFootprint quantifies how far the algorithms stray beyond CONGEST:
-// total delivered words and the largest single message, per algorithm.
-func MessageFootprint(seed int64, n int) (*Table, error) {
-	t := &Table{
+// Scaling runs ScalingSpec sequentially with seed as root.
+func Scaling(seed int64, ns []int) (*Table, error) {
+	return ScalingSpec(ns).RunSequential(seed)
+}
+
+// MessageFootprintSpec declares the CONGEST-distance measurement: total
+// delivered words and the largest single message, per algorithm. All three
+// rows run on the same instance, so they stay one task.
+func MessageFootprintSpec(n int) Spec {
+	s := Spec{
+		Name:   "message-footprint",
 		Title:  "LOCAL vs CONGEST — message footprint of the distributed algorithms",
 		Header: []string{"algorithm", "n", "rounds", "messages", "total words", "max message words"},
 	}
-	rng := rand.New(rand.NewSource(seed))
-	g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: 5}, rng)
+	s.Tasks = append(s.Tasks, Task{Row: "footprint", Params: fmt.Sprintf("n=%d", n), Run: func(seed int64) ([][]string, error) {
+		rng := rand.New(rand.NewSource(seed))
+		g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: 5}, rng)
 
-	_, d2stats, err := core.RunD2(g, nil, local.Sequential)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("D2 (Thm 4.4)", fmt.Sprint(g.N()), fmt.Sprint(d2stats.Rounds),
-		fmt.Sprint(d2stats.Messages), fmt.Sprint(d2stats.Words), fmt.Sprint(d2stats.MaxMessageWords))
+		_, d2stats, err := core.RunD2(g, nil, local.Sequential)
+		if err != nil {
+			return nil, err
+		}
+		_, a1stats, err := core.RunAlg1(g, nil, core.Params{R1: 3, R2: 3}, local.Sequential)
+		if err != nil {
+			return nil, err
+		}
+		net, err := local.NewNetwork(g, nil)
+		if err != nil {
+			return nil, err
+		}
+		_, gstats, err := local.GatherViews(net, g.Diameter()+2, local.Sequential)
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{
+			{"D2 (Thm 4.4)", fmt.Sprint(g.N()), fmt.Sprint(d2stats.Rounds),
+				fmt.Sprint(d2stats.Messages), fmt.Sprint(d2stats.Words), fmt.Sprint(d2stats.MaxMessageWords)},
+			{"Alg1 (R=3)", fmt.Sprint(g.N()), fmt.Sprint(a1stats.Rounds),
+				fmt.Sprint(a1stats.Messages), fmt.Sprint(a1stats.Words), fmt.Sprint(a1stats.MaxMessageWords)},
+			{"full gather (footnote 2)", fmt.Sprint(g.N()), fmt.Sprint(gstats.Rounds),
+				fmt.Sprint(gstats.Messages), fmt.Sprint(gstats.Words), fmt.Sprint(gstats.MaxMessageWords)},
+		}, nil
+	}})
+	return s
+}
 
-	_, a1stats, err := core.RunAlg1(g, nil, core.Params{R1: 3, R2: 3}, local.Sequential)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("Alg1 (R=3)", fmt.Sprint(g.N()), fmt.Sprint(a1stats.Rounds),
-		fmt.Sprint(a1stats.Messages), fmt.Sprint(a1stats.Words), fmt.Sprint(a1stats.MaxMessageWords))
-
-	tree, err := local.NewNetwork(g, nil)
-	if err != nil {
-		return nil, err
-	}
-	_, gstats, err := local.GatherViews(tree, g.Diameter()+2, local.Sequential)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("full gather (footnote 2)", fmt.Sprint(g.N()), fmt.Sprint(gstats.Rounds),
-		fmt.Sprint(gstats.Messages), fmt.Sprint(gstats.Words), fmt.Sprint(gstats.MaxMessageWords))
-	return t, nil
+// MessageFootprint runs MessageFootprintSpec sequentially with seed as
+// root.
+func MessageFootprint(seed int64, n int) (*Table, error) {
+	return MessageFootprintSpec(n).RunSequential(seed)
 }

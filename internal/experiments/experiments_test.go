@@ -17,6 +17,41 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+func TestTableRenderAlignsMultibyteCells(t *testing.T) {
+	// Aggregated cells carry multi-byte runes (±, ⟨⟩); every rendered line
+	// must still have the same display width (rune count).
+	tab := &Table{Header: []string{"a", "b"}}
+	tab.AddRow("1.5 ±0.5 [1..2]", "x")
+	tab.AddRow("2", "true ⟨2/3⟩")
+	lines := strings.Split(strings.TrimRight(tab.Render(), "\n"), "\n")
+	want := len([]rune(lines[0]))
+	for _, line := range lines[1:] {
+		if got := len([]rune(line)); got != want {
+			t.Errorf("line %q is %d runes wide, want %d", line, got, want)
+		}
+	}
+}
+
+func TestLeadingFloat(t *testing.T) {
+	cases := []struct {
+		cell string
+		f    float64
+		ok   bool
+	}{
+		{"1.23 (37/30)", 1.23, true},
+		{"<=14 est", 14, true},
+		{"7", 7, true},
+		{"n/a", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		f, ok := LeadingFloat(c.cell)
+		if f != c.f || ok != c.ok {
+			t.Errorf("LeadingFloat(%q) = %v, %v; want %v, %v", c.cell, f, ok, c.f, c.ok)
+		}
+	}
+}
+
 func TestRatioString(t *testing.T) {
 	if got := ratioString(6, 3); got != "2.00 (6/3)" {
 		t.Errorf("ratioString = %q", got)

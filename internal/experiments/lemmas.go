@@ -13,176 +13,241 @@ import (
 	"localmds/internal/spqr"
 )
 
-// Lemma32 measures the Lemma 3.2 constant: the number of r-local minimal
-// 1-cuts against c3.2(1) * MDS(G) on the paper's classes.
-func Lemma32(seed int64, ns []int, r int) (*Table, error) {
-	t := &Table{
+// Lemma32Spec declares the Lemma 3.2 constant measurement: the number of
+// r-local minimal 1-cuts against c3.2(1) * MDS(G) on the paper's classes.
+// One task per (n, instance family).
+func Lemma32Spec(ns []int, r int) Spec {
+	s := Spec{
+		Name:   "lemma32",
 		Title:  fmt.Sprintf("Lemma 3.2 — #(%d-local 1-cuts) vs c3.2(1)*MDS = 6*MDS", r),
 		Header: []string{"instance", "n", "local 1-cuts", "MDS", "ratio", "<= 6"},
 	}
-	rng := rand.New(rand.NewSource(seed))
 	for _, n := range ns {
-		instances := []struct {
-			name string
-			g    *graph.Graph
-		}{
-			{"cycle", gen.Cycle(n)},
-			{"tree", gen.RandomTree(n, rng)},
-			{"ding-mixed", ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: 5}, rng)},
-		}
-		for _, inst := range instances {
-			locals := cuts.LocalOneCuts(inst.g, r)
-			opt, err := mds.ExactMDS(inst.g)
-			if err != nil {
-				return nil, fmt.Errorf("lemma32 %s n=%d: %w", inst.name, n, err)
-			}
-			ratio := float64(len(locals)) / float64(len(opt))
-			t.AddRow(inst.name, fmt.Sprint(inst.g.N()), fmt.Sprint(len(locals)),
-				fmt.Sprint(len(opt)), fmt.Sprintf("%.2f", ratio),
-				fmt.Sprint(len(locals) <= 6*len(opt)))
+		for _, inst := range lemmaInstances(n) {
+			s.Tasks = append(s.Tasks, Task{Row: fmt.Sprintf("n%d-%s", n, inst.name), Params: fmt.Sprintf("r=%d", r), Run: func(seed int64) ([][]string, error) {
+				g := inst.build(rand.New(rand.NewSource(seed)))
+				locals := cuts.LocalOneCuts(g, r)
+				opt, err := mds.ExactMDS(g)
+				if err != nil {
+					return nil, fmt.Errorf("lemma32 %s n=%d: %w", inst.name, n, err)
+				}
+				ratio := float64(len(locals)) / float64(len(opt))
+				return [][]string{{inst.name, fmt.Sprint(g.N()), fmt.Sprint(len(locals)),
+					fmt.Sprint(len(opt)), fmt.Sprintf("%.2f", ratio),
+					fmt.Sprint(len(locals) <= 6*len(opt))}}, nil
+			}})
 		}
 	}
-	return t, nil
+	return s
 }
 
-// Lemma33 measures the Lemma 3.3 constant — the number of r-interesting
-// vertices against c3.3(1) * MDS — and contrasts it with the unrestricted
-// count of 2-cut vertices on the clique-plus-pendants instance from §4,
-// which grows linearly while MDS stays 1.
-func Lemma33(seed int64, ns []int, r int) (*Table, error) {
-	t := &Table{
+// lemmaInstances is the Lemma 3.2 workload family at size n.
+func lemmaInstances(n int) []namedBuilder {
+	return []namedBuilder{
+		{"cycle", func(*rand.Rand) *graph.Graph { return gen.Cycle(n) }},
+		{"tree", func(rng *rand.Rand) *graph.Graph { return gen.RandomTree(n, rng) }},
+		{"ding-mixed", func(rng *rand.Rand) *graph.Graph {
+			return ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: 5}, rng)
+		}},
+	}
+}
+
+// namedBuilder pairs an instance family name with its seeded constructor.
+type namedBuilder struct {
+	name  string
+	build func(rng *rand.Rand) *graph.Graph
+}
+
+// Lemma32 runs Lemma32Spec sequentially with seed as root.
+func Lemma32(seed int64, ns []int, r int) (*Table, error) {
+	return Lemma32Spec(ns, r).RunSequential(seed)
+}
+
+// Lemma33Spec declares the Lemma 3.3 constant measurement — the number of
+// r-interesting vertices against c3.3(1) * MDS — contrasted with the
+// unrestricted count of 2-cut vertices on the clique-plus-pendants
+// instance from §4, which grows linearly while MDS stays 1. One task per
+// (n, instance family).
+func Lemma33Spec(ns []int, r int) Spec {
+	s := Spec{
+		Name:   "lemma33",
 		Title:  fmt.Sprintf("Lemma 3.3 — #(%d-interesting vertices) vs c3.3(1)*MDS = 44*MDS; plain 2-cut vertices are unbounded", r),
 		Header: []string{"instance", "n", "2-cut vertices", "interesting", "MDS", "interesting/MDS", "<= 44"},
 	}
-	rng := rand.New(rand.NewSource(seed))
 	for _, n := range ns {
-		instances := []struct {
-			name string
-			g    *graph.Graph
-		}{
-			{"clique+pendants", gen.CliquePendants(n / 2)},
-			{"ding-mixed", ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: 5}, rng)},
-			{"cycle", gen.Cycle(n)},
+		instances := []namedBuilder{
+			{"clique+pendants", func(*rand.Rand) *graph.Graph { return gen.CliquePendants(n / 2) }},
+			{"ding-mixed", func(rng *rand.Rand) *graph.Graph {
+				return ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: 5}, rng)
+			}},
+			{"cycle", func(*rand.Rand) *graph.Graph { return gen.Cycle(n) }},
 		}
 		for _, inst := range instances {
-			twoCutVerts := map[int]bool{}
-			for _, c := range cuts.MinimalTwoCuts(inst.g) {
-				twoCutVerts[c.U] = true
-				twoCutVerts[c.V] = true
-			}
-			interesting := cuts.LocallyInterestingVertices(inst.g, r)
-			opt, err := mds.ExactMDS(inst.g)
-			if err != nil {
-				return nil, fmt.Errorf("lemma33 %s n=%d: %w", inst.name, n, err)
-			}
-			ratio := float64(len(interesting)) / float64(len(opt))
-			t.AddRow(inst.name, fmt.Sprint(inst.g.N()), fmt.Sprint(len(twoCutVerts)),
-				fmt.Sprint(len(interesting)), fmt.Sprint(len(opt)),
-				fmt.Sprintf("%.2f", ratio), fmt.Sprint(len(interesting) <= 44*len(opt)))
+			s.Tasks = append(s.Tasks, Task{Row: fmt.Sprintf("n%d-%s", n, inst.name), Params: fmt.Sprintf("r=%d", r), Run: func(seed int64) ([][]string, error) {
+				g := inst.build(rand.New(rand.NewSource(seed)))
+				twoCutVerts := map[int]bool{}
+				for _, c := range cuts.MinimalTwoCuts(g) {
+					twoCutVerts[c.U] = true
+					twoCutVerts[c.V] = true
+				}
+				interesting := cuts.LocallyInterestingVertices(g, r)
+				opt, err := mds.ExactMDS(g)
+				if err != nil {
+					return nil, fmt.Errorf("lemma33 %s n=%d: %w", inst.name, n, err)
+				}
+				ratio := float64(len(interesting)) / float64(len(opt))
+				return [][]string{{inst.name, fmt.Sprint(g.N()), fmt.Sprint(len(twoCutVerts)),
+					fmt.Sprint(len(interesting)), fmt.Sprint(len(opt)),
+					fmt.Sprintf("%.2f", ratio), fmt.Sprint(len(interesting) <= 44*len(opt))}}, nil
+			}})
 		}
 	}
-	return t, nil
+	return s
 }
 
-// Lemma42 measures the residual component diameter after Algorithm 1's cut
-// phase on growing strip chains: Lemma 4.2 predicts it stays bounded by
-// m4.2(t) as n grows, for every radius. Small radii take many local cuts
-// (few residual components); larger radii leave more brute-force work whose
-// diameter must still not grow with n.
-func Lemma42(seed int64, ns []int) (*Table, error) {
-	t := &Table{
+// Lemma33 runs Lemma33Spec sequentially with seed as root.
+func Lemma33(seed int64, ns []int, r int) (*Table, error) {
+	return Lemma33Spec(ns, r).RunSequential(seed)
+}
+
+// Lemma42Spec declares the residual-diameter measurement after Algorithm
+// 1's cut phase on growing strip chains: Lemma 4.2 predicts it stays
+// bounded by m4.2(t) as n grows, for every radius. Small radii take many
+// local cuts (few residual components); larger radii leave more
+// brute-force work whose diameter must still not grow with n. One task per
+// n; the radius rows share the instance.
+func Lemma42Spec(ns []int) Spec {
+	s := Spec{
+		Name:   "lemma42",
 		Title:  "Lemma 4.2 — residual component diameter stays bounded as n grows (strip chains, T=5)",
 		Header: []string{"n", "R1=R2", "components", "max diameter", "|X|", "|I|"},
 	}
-	rng := rand.New(rand.NewSource(seed))
 	for _, n := range ns {
-		g := ding.MustGenerate(ding.Config{Kind: ding.StripChain, N: n, T: 5}, rng)
-		for _, r := range []int{2, 4, 8} {
-			res, err := core.Alg1(g, core.Params{R1: r, R2: r})
-			if err != nil {
-				return nil, fmt.Errorf("lemma42 n=%d r=%d: %w", n, r, err)
+		s.Tasks = append(s.Tasks, Task{Row: fmt.Sprintf("n%d", n), Run: func(seed int64) ([][]string, error) {
+			rng := rand.New(rand.NewSource(seed))
+			g := ding.MustGenerate(ding.Config{Kind: ding.StripChain, N: n, T: 5}, rng)
+			var rows [][]string
+			for _, r := range []int{2, 4, 8} {
+				res, err := core.Alg1(g, core.Params{R1: r, R2: r})
+				if err != nil {
+					return nil, fmt.Errorf("lemma42 n=%d r=%d: %w", n, r, err)
+				}
+				rows = append(rows, []string{fmt.Sprint(g.N()), fmt.Sprint(r), fmt.Sprint(len(res.Components)),
+					fmt.Sprint(res.MaxComponentDiameter), fmt.Sprint(len(res.X)), fmt.Sprint(len(res.I))})
 			}
-			t.AddRow(fmt.Sprint(g.N()), fmt.Sprint(r), fmt.Sprint(len(res.Components)),
-				fmt.Sprint(res.MaxComponentDiameter), fmt.Sprint(len(res.X)), fmt.Sprint(len(res.I)))
-		}
+			return rows, nil
+		}})
 	}
-	return t, nil
+	return s
 }
 
-// Lemma518 measures the Figure 1/2 construction: |A| vs (t-1)|B| on
-// K_{2,t}-minor-free instances (Lemmas 5.17/5.18).
-func Lemma518(seed int64, ns []int, tParam int) (*Table, error) {
-	t := &Table{
+// Lemma42 runs Lemma42Spec sequentially with seed as root.
+func Lemma42(seed int64, ns []int) (*Table, error) {
+	return Lemma42Spec(ns).RunSequential(seed)
+}
+
+// Lemma518Spec declares the Figure 1/2 construction measurement: |A| vs
+// (t-1)|B| on K_{2,t}-minor-free instances (Lemmas 5.17/5.18). One task
+// per n.
+func Lemma518Spec(ns []int, tParam int) Spec {
+	s := Spec{
+		Name:   "lemma518",
 		Title:  fmt.Sprintf("Lemmas 5.17/5.18 (Figures 1-2) — |A| <= (t-1)|B| with t = %d", tParam),
 		Header: []string{"n", "|A|", "|B|", "(t-1)|B|", "ok", "|D2|"},
 	}
-	rng := rand.New(rand.NewSource(seed))
 	for _, n := range ns {
-		g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: tParam}, rng)
-		res, err := core.BuildMinorBound(g)
-		if err != nil {
-			return nil, fmt.Errorf("lemma518 n=%d: %w", n, err)
-		}
-		ok := core.VerifyMinorBound(res, tParam) == nil
-		t.AddRow(fmt.Sprint(g.N()), fmt.Sprint(len(res.A)), fmt.Sprint(len(res.B)),
-			fmt.Sprint((tParam-1)*len(res.B)), fmt.Sprint(ok), fmt.Sprint(res.D2Count))
+		s.Tasks = append(s.Tasks, Task{Row: fmt.Sprintf("n%d", n), Params: fmt.Sprintf("t=%d", tParam), Run: func(seed int64) ([][]string, error) {
+			rng := rand.New(rand.NewSource(seed))
+			g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: n, T: tParam}, rng)
+			res, err := core.BuildMinorBound(g)
+			if err != nil {
+				return nil, fmt.Errorf("lemma518 n=%d: %w", n, err)
+			}
+			ok := core.VerifyMinorBound(res, tParam) == nil
+			return [][]string{{fmt.Sprint(g.N()), fmt.Sprint(len(res.A)), fmt.Sprint(len(res.B)),
+				fmt.Sprint((tParam - 1) * len(res.B)), fmt.Sprint(ok), fmt.Sprint(res.D2Count)}}, nil
+		}})
 	}
-	return t, nil
+	return s
 }
 
-// CycleLocalCuts reproduces the §4 discussion: on the cycle every vertex is
-// an r-local 1-cut while no vertex is a global cut vertex.
-func CycleLocalCuts(ns []int, r int) *Table {
-	t := &Table{
+// Lemma518 runs Lemma518Spec sequentially with seed as root.
+func Lemma518(seed int64, ns []int, tParam int) (*Table, error) {
+	return Lemma518Spec(ns, tParam).RunSequential(seed)
+}
+
+// CycleLocalCutsSpec declares the §4 discussion reproduction: on the cycle
+// every vertex is an r-local 1-cut while no vertex is a global cut vertex.
+// The construction is deterministic; tasks ignore their seeds.
+func CycleLocalCutsSpec(ns []int, r int) Spec {
+	s := Spec{
+		Name:   "cycle-local-cuts",
 		Title:  fmt.Sprintf("§4 discussion — long cycles: all vertices are %d-local 1-cuts, none are global", r),
 		Header: []string{"n", "local 1-cuts", "global cut vertices", "MDS", "locals/MDS"},
 	}
 	for _, n := range ns {
-		g := gen.Cycle(n)
-		locals := cuts.LocalOneCuts(g, r)
-		arts := cuts.ArticulationPoints(g)
-		optSize := (n + 2) / 3 // MDS of a cycle is ceil(n/3)
-		t.AddRow(fmt.Sprint(n), fmt.Sprint(len(locals)), fmt.Sprint(len(arts)),
-			fmt.Sprint(optSize), fmt.Sprintf("%.2f", float64(len(locals))/float64(optSize)))
+		s.Tasks = append(s.Tasks, Task{Row: fmt.Sprintf("n%d", n), Params: fmt.Sprintf("r=%d", r), Run: func(int64) ([][]string, error) {
+			g := gen.Cycle(n)
+			locals := cuts.LocalOneCuts(g, r)
+			arts := cuts.ArticulationPoints(g)
+			optSize := (n + 2) / 3 // MDS of a cycle is ceil(n/3)
+			return [][]string{{fmt.Sprint(n), fmt.Sprint(len(locals)), fmt.Sprint(len(arts)),
+				fmt.Sprint(optSize), fmt.Sprintf("%.2f", float64(len(locals))/float64(optSize))}}, nil
+		}})
 	}
-	return t
+	return s
 }
 
-// SPQRStats decomposes random 2-connected graphs, verifies Proposition 5.7
-// coverage and reports the interesting-cut family count of
-// Proposition 5.8.
-func SPQRStats(seed int64, ns []int) (*Table, error) {
-	t := &Table{
+// CycleLocalCuts runs CycleLocalCutsSpec sequentially; the tasks are
+// deterministic and cannot fail.
+func CycleLocalCuts(ns []int, r int) *Table {
+	return CycleLocalCutsSpec(ns, r).mustRunSequential(0)
+}
+
+// SPQRStatsSpec declares the SPQR decomposition statistics: random
+// 2-connected graphs are decomposed, Proposition 5.7 coverage is verified,
+// and the interesting-cut family count of Proposition 5.8 is reported. One
+// task per n.
+func SPQRStatsSpec(ns []int) Spec {
+	s := Spec{
+		Name:   "spqr",
 		Title:  "SPQR / Prop 5.7 / Prop 5.8 — decomposition statistics on random 2-connected graphs",
 		Header: []string{"n", "S", "P", "R", "2-cuts covered", "families (<=3?)"},
 	}
-	rng := rand.New(rand.NewSource(seed))
 	for _, n := range ns {
-		g := gen.Cycle(n)
-		for c := 0; c < n/4; c++ {
-			u, v := rng.Intn(n), rng.Intn(n)
-			if u != v && !g.HasEdge(u, v) {
-				g.AddEdge(u, v)
+		s.Tasks = append(s.Tasks, Task{Row: fmt.Sprintf("n%d", n), Run: func(seed int64) ([][]string, error) {
+			rng := rand.New(rand.NewSource(seed))
+			g := gen.Cycle(n)
+			for c := 0; c < n/4; c++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u != v && !g.HasEdge(u, v) {
+					g.AddEdge(u, v)
+				}
 			}
-		}
-		tree, err := spqr.Decompose(g)
-		if err != nil {
-			return nil, fmt.Errorf("spqr n=%d: %w", n, err)
-		}
-		s, p, r := tree.CountTypes()
-		covered := true
-		candSet := map[[2]int]bool{}
-		for _, cp := range tree.CandidateTwoCuts() {
-			candSet[[2]int{cp.U, cp.V}] = true
-		}
-		for _, c := range cuts.MinimalTwoCuts(g) {
-			if !candSet[[2]int{c.U, c.V}] {
-				covered = false
+			tree, err := spqr.Decompose(g)
+			if err != nil {
+				return nil, fmt.Errorf("spqr n=%d: %w", n, err)
 			}
-		}
-		families := spqr.InterestingFamilies(g)
-		t.AddRow(fmt.Sprint(n), fmt.Sprint(s), fmt.Sprint(p), fmt.Sprint(r),
-			fmt.Sprint(covered), fmt.Sprintf("%d (%v)", len(families), len(families) <= 3))
+			sc, p, r := tree.CountTypes()
+			covered := true
+			candSet := map[[2]int]bool{}
+			for _, cp := range tree.CandidateTwoCuts() {
+				candSet[[2]int{cp.U, cp.V}] = true
+			}
+			for _, c := range cuts.MinimalTwoCuts(g) {
+				if !candSet[[2]int{c.U, c.V}] {
+					covered = false
+				}
+			}
+			families := spqr.InterestingFamilies(g)
+			return [][]string{{fmt.Sprint(n), fmt.Sprint(sc), fmt.Sprint(p), fmt.Sprint(r),
+				fmt.Sprint(covered), fmt.Sprintf("%d (%v)", len(families), len(families) <= 3)}}, nil
+		}})
 	}
-	return t, nil
+	return s
+}
+
+// SPQRStats runs SPQRStatsSpec sequentially with seed as root.
+func SPQRStats(seed int64, ns []int) (*Table, error) {
+	return SPQRStatsSpec(ns).RunSequential(seed)
 }

@@ -10,7 +10,9 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a rendered experiment result: a titled grid of cells.
@@ -26,7 +28,9 @@ func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
 }
 
-// Render formats the table with aligned columns.
+// Render formats the table with aligned columns. Widths are measured in
+// runes, not bytes: aggregated cells carry multi-byte glyphs (±, ⟨⟩)
+// that would otherwise misalign their column.
 func (t *Table) Render() string {
 	var b strings.Builder
 	if t.Title != "" {
@@ -34,12 +38,12 @@ func (t *Table) Render() string {
 	}
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
-		widths[i] = len(h)
+		widths[i] = utf8.RuneCountInString(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if i < len(widths) && utf8.RuneCountInString(c) > widths[i] {
+				widths[i] = utf8.RuneCountInString(c)
 			}
 		}
 	}
@@ -49,7 +53,7 @@ func (t *Table) Render() string {
 			if i < len(cells) {
 				c = cells[i]
 			}
-			fmt.Fprintf(&b, "| %-*s ", widths[i], c)
+			fmt.Fprintf(&b, "| %s%s ", c, strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
 		}
 		b.WriteString("|\n")
 	}
@@ -86,4 +90,30 @@ func ratioString(sol, opt int) string {
 		return "n/a"
 	}
 	return fmt.Sprintf("%.2f (%d/%d)", float64(sol)/float64(opt), sol, opt)
+}
+
+// LeadingFloat extracts the first number from a cell like "1.23 (37/30)"
+// or "<=14 est"; ok is false when the cell has none. Both the replicate
+// aggregation (internal/runner) and cmd/mdsbench's JSON metric parsing
+// use this one definition so the two can never drift.
+func LeadingFloat(cell string) (f float64, ok bool) {
+	start := -1
+	for i, r := range cell {
+		if r >= '0' && r <= '9' {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return 0, false
+	}
+	end := start
+	for end < len(cell) && (cell[end] >= '0' && cell[end] <= '9' || cell[end] == '.') {
+		end++
+	}
+	f, err := strconv.ParseFloat(cell[start:end], 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
 }

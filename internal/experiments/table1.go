@@ -15,7 +15,9 @@ import (
 
 // Table1Config scales the Table 1 reproduction.
 type Table1Config struct {
-	// Seed drives every generator.
+	// Seed is the root seed used by the compatibility wrappers; per-task
+	// seeds are derived from it (see TaskSeed). cmd/mdsbench passes its
+	// own root seed to internal/runner instead.
 	Seed int64
 	// N is the target instance size for ratio measurements (capped by the
 	// exact solver: OPT is computed exactly).
@@ -31,22 +33,27 @@ func DefaultTable1Config() Table1Config {
 	return Table1Config{Seed: 1, N: 120, ProcessN: 48}
 }
 
-// Table1 reproduces the paper's Table 1: for each row (graph class) it runs
-// the corresponding algorithm from this repository on in-class workloads
-// and reports the measured approximation ratio and measured LOCAL rounds
-// next to the paper's bound.
-func Table1(cfg Table1Config) (*Table, error) {
-	t := &Table{
+func (cfg Table1Config) params() string {
+	return fmt.Sprintf("n=%d,process-n=%d", cfg.N, cfg.ProcessN)
+}
+
+// Table1Spec declares the paper's Table 1 reproduction: one task per graph
+// class, each running the corresponding algorithm from this repository on
+// in-class workloads and reporting the measured approximation ratio and
+// measured LOCAL rounds next to the paper's bound.
+func Table1Spec(cfg Table1Config) Spec {
+	s := Spec{
+		Name:  "table1",
 		Title: "Table 1 — constant-round MDS approximation on H-minor-free classes (paper bound vs measured)",
 		Header: []string{
 			"class", "algorithm", "paper ratio", "paper rounds",
 			"measured ratio", "measured rounds", "n",
 		},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	// Row: trees (K3-minor-free), folklore 3-approx in 2 rounds.
-	{
+	// Trees (K3-minor-free), folklore 3-approx in 2 rounds.
+	s.Tasks = append(s.Tasks, Task{Row: "trees", Params: cfg.params(), Run: func(seed int64) ([][]string, error) {
+		rng := rand.New(rand.NewSource(seed))
 		g := gen.RandomTree(cfg.N, rng)
 		sol := core.TreeMDS(g)
 		opt, err := mds.ExactMDS(g)
@@ -58,14 +65,15 @@ func Table1(cfg Table1Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trees process: %w", err)
 		}
-		t.AddRow("trees (K3)", "deg>=2 folklore", "3", "2",
-			ratioString(len(sol), len(opt)), fmt.Sprint(stats.Rounds), fmt.Sprint(g.N()))
-	}
+		return [][]string{{"trees (K3)", "deg>=2 folklore", "3", "2",
+			ratioString(len(sol), len(opt)), fmt.Sprint(stats.Rounds), fmt.Sprint(g.N())}}, nil
+	}})
 
-	// Row: outerplanar (K4, K_{2,3}): our Algorithm 1 with practical
-	// radii (the paper cites [4]'s specialized 5-approximation). OPT comes
-	// from the treewidth-2 DP.
-	{
+	// Outerplanar (K4, K_{2,3}): our Algorithm 1 with practical radii (the
+	// paper cites [4]'s specialized 5-approximation). OPT comes from the
+	// treewidth-2 DP.
+	s.Tasks = append(s.Tasks, Task{Row: "outerplanar", Params: cfg.params(), Run: func(seed int64) ([][]string, error) {
+		rng := rand.New(rand.NewSource(seed))
 		g := gen.MaximalOuterplanar(cfg.N, rng)
 		res, err := core.Alg1(g, core.PracticalParams())
 		if err != nil {
@@ -75,15 +83,14 @@ func Table1(cfg Table1Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("outerplanar opt: %w", err)
 		}
-		t.AddRow("outerplanar (K4,K2,3)", "Alg1 practical", "5 [4]", "2 [4]",
-			ratioString(len(res.S), len(opt)), fmt.Sprintf("<=%d est", res.RoundsEstimate), fmt.Sprint(g.N()))
-	}
+		return [][]string{{"outerplanar (K4,K2,3)", "Alg1 practical", "5 [4]", "2 [4]",
+			ratioString(len(res.S), len(opt)), fmt.Sprintf("<=%d est", res.RoundsEstimate), fmt.Sprint(g.N())}}, nil
+	}})
 
-	// Row: planar (K5, K_{3,3}): Algorithm 1 on grids (the paper cites
-	// [12]'s 11+eps). Grids are the exact solver's worst case, so the
-	// side is capped: OPT on larger grids would take hours of branch and
-	// bound.
-	{
+	// Planar (K5, K_{3,3}): Algorithm 1 on grids (the paper cites [12]'s
+	// 11+eps). Grids are the exact solver's worst case, so the side is
+	// capped: OPT on larger grids would take hours of branch and bound.
+	s.Tasks = append(s.Tasks, Task{Row: "planar", Params: cfg.params(), Run: func(int64) ([][]string, error) {
 		side := minInt(intSqrt(cfg.N), 7)
 		g := gen.Grid(side, side)
 		res, err := core.Alg1(g, core.PracticalParams())
@@ -94,12 +101,12 @@ func Table1(cfg Table1Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("planar opt: %w", err)
 		}
-		t.AddRow("planar (K5,K3,3)", "Alg1 practical", "11+eps [12]", "O_eps(1) [12]",
-			ratioString(len(res.S), len(opt)), fmt.Sprintf("<=%d est", res.RoundsEstimate), fmt.Sprint(g.N()))
-	}
+		return [][]string{{"planar (K5,K3,3)", "Alg1 practical", "11+eps [12]", "O_eps(1) [12]",
+			ratioString(len(res.S), len(opt)), fmt.Sprintf("<=%d est", res.RoundsEstimate), fmt.Sprint(g.N())}}, nil
+	}})
 
-	// Row: K_{1,t}-minor-free (max degree < t): take-all, 0 rounds.
-	{
+	// K_{1,t}-minor-free (max degree < t): take-all, 0 rounds.
+	s.Tasks = append(s.Tasks, Task{Row: "k1t", Params: cfg.params(), Run: func(int64) ([][]string, error) {
 		deg := 4
 		g, err := gen.RegularLike(cfg.N, deg)
 		if err != nil {
@@ -111,45 +118,50 @@ func Table1(cfg Table1Config) (*Table, error) {
 			return nil, fmt.Errorf("k1t opt: %w", err)
 		}
 		tt := deg + 2 // graph is K_{1,deg+1}-minor-free: Δ = deg <= t-1
-		t.AddRow(fmt.Sprintf("K1,%d-minor-free", tt), "take all", fmt.Sprint(tt), "0",
-			ratioString(len(sol), len(opt)), "1 (silent)", fmt.Sprint(g.N()))
-	}
+		return [][]string{{fmt.Sprintf("K1,%d-minor-free", tt), "take all", fmt.Sprint(tt), "0",
+			ratioString(len(sol), len(opt)), "1 (silent)", fmt.Sprint(g.N())}}, nil
+	}})
 
-	// Rows: K_{2,t}-minor-free, Theorem 4.4 (2t-1 in 3 rounds) and
-	// Theorem 4.1 (50 in O_t(1) rounds), for a sweep of t.
+	// K_{2,t}-minor-free, Theorem 4.4 (2t-1 in 3 rounds) and Theorem 4.1
+	// (50 in O_t(1) rounds), for a sweep of t. Both rows of each t measure
+	// the same instances, so they stay one task.
 	for _, tt := range []int{3, 4, 5, 6} {
-		g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: cfg.N, T: tt}, rng)
-		opt, err := mds.ExactMDS(g)
-		if err != nil {
-			return nil, fmt.Errorf("k2t opt: %w", err)
-		}
-		d2 := core.D2(g)
-		small := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: cfg.ProcessN, T: tt}, rng)
-		_, d2stats, err := core.RunD2(small, nil, local.Sequential)
-		if err != nil {
-			return nil, fmt.Errorf("k2t d2 process: %w", err)
-		}
-		t.AddRow(fmt.Sprintf("K2,%d-minor-free", tt), "Thm 4.4 (D2)",
-			fmt.Sprint(2*tt-1), "3",
-			ratioString(len(d2.S), len(opt)), fmt.Sprint(d2stats.Rounds), fmt.Sprint(g.N()))
-
-		res, err := core.Alg1(g, core.PracticalParams())
-		if err != nil {
-			return nil, fmt.Errorf("k2t alg1: %w", err)
-		}
-		_, a1stats, err := core.RunAlg1(small, nil, core.PracticalParams(), local.Sequential)
-		if err != nil {
-			return nil, fmt.Errorf("k2t alg1 process: %w", err)
-		}
-		t.AddRow(fmt.Sprintf("K2,%d-minor-free", tt), "Thm 4.1 (Alg1)",
-			"50", "O_t(1)",
-			ratioString(len(res.S), len(opt)), fmt.Sprint(a1stats.Rounds), fmt.Sprint(g.N()))
+		s.Tasks = append(s.Tasks, Task{Row: fmt.Sprintf("k2t-t%d", tt), Params: cfg.params(), Run: func(seed int64) ([][]string, error) {
+			rng := rand.New(rand.NewSource(seed))
+			g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: cfg.N, T: tt}, rng)
+			small := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: cfg.ProcessN, T: tt}, rng)
+			opt, err := mds.ExactMDS(g)
+			if err != nil {
+				return nil, fmt.Errorf("k2t opt: %w", err)
+			}
+			d2 := core.D2(g)
+			_, d2stats, err := core.RunD2(small, nil, local.Sequential)
+			if err != nil {
+				return nil, fmt.Errorf("k2t d2 process: %w", err)
+			}
+			res, err := core.Alg1(g, core.PracticalParams())
+			if err != nil {
+				return nil, fmt.Errorf("k2t alg1: %w", err)
+			}
+			_, a1stats, err := core.RunAlg1(small, nil, core.PracticalParams(), local.Sequential)
+			if err != nil {
+				return nil, fmt.Errorf("k2t alg1 process: %w", err)
+			}
+			return [][]string{
+				{fmt.Sprintf("K2,%d-minor-free", tt), "Thm 4.4 (D2)",
+					fmt.Sprint(2*tt - 1), "3",
+					ratioString(len(d2.S), len(opt)), fmt.Sprint(d2stats.Rounds), fmt.Sprint(g.N())},
+				{fmt.Sprintf("K2,%d-minor-free", tt), "Thm 4.1 (Alg1)",
+					"50", "O_t(1)",
+					ratioString(len(res.S), len(opt)), fmt.Sprint(a1stats.Rounds), fmt.Sprint(g.N())},
+			}, nil
+		}})
 	}
 
-	// Row: K_{s,t}/K_t-minor-free (cited bounds are astronomically large;
-	// our Algorithm 2 runs with an asymptotic-dimension-2 control function
-	// on planar-ish inputs as the executable counterpart).
-	{
+	// K_{s,t}/K_t-minor-free (cited bounds are astronomically large; our
+	// Algorithm 2 runs with an asymptotic-dimension-2 control function on
+	// planar-ish inputs as the executable counterpart).
+	s.Tasks = append(s.Tasks, Task{Row: "kt", Params: cfg.params(), Run: func(int64) ([][]string, error) {
 		side := minInt(intSqrt(cfg.N), 7)
 		g := gen.Grid(side, side)
 		res, err := core.Alg2(g, func(r int) int { return 2 * r }, 0)
@@ -160,95 +172,127 @@ func Table1(cfg Table1Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("kt opt: %w", err)
 		}
-		t.AddRow("K_t-minor-free", "Alg2 (asdim d, f)", "t^O(t^2 sqrt(log t)) [18]", "7 [18]",
-			ratioString(len(res.S), len(opt)), fmt.Sprintf("<=%d est", res.RoundsEstimate), fmt.Sprint(g.N()))
-	}
-	return t, nil
+		return [][]string{{"K_t-minor-free", "Alg2 (asdim d, f)", "t^O(t^2 sqrt(log t)) [18]", "7 [18]",
+			ratioString(len(res.S), len(opt)), fmt.Sprintf("<=%d est", res.RoundsEstimate), fmt.Sprint(g.N())}}, nil
+	}})
+	return s
 }
 
-// MVCTable measures the vertex-cover variants (Theorem 4.4's t-approx and
-// the Algorithm 1 variant described after Theorem 4.3).
-func MVCTable(cfg Table1Config) (*Table, error) {
-	t := &Table{
+// Table1 reproduces the paper's Table 1 by running Table1Spec's tasks
+// sequentially with cfg.Seed as the root seed.
+func Table1(cfg Table1Config) (*Table, error) {
+	return Table1Spec(cfg).RunSequential(cfg.Seed)
+}
+
+// MVCTableSpec declares the vertex-cover variants (Theorem 4.4's t-approx
+// and the Algorithm 1 variant described after Theorem 4.3).
+func MVCTableSpec(cfg Table1Config) Spec {
+	s := Spec{
+		Name:   "mvc",
 		Title:  "Vertex Cover variants (Theorem 4.4 and the Algorithm 1 MVC variant)",
 		Header: []string{"class", "algorithm", "paper ratio", "measured ratio", "n"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	for _, tt := range []int{3, 4, 5} {
-		g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: cfg.N, T: tt}, rng)
+		s.Tasks = append(s.Tasks, Task{Row: fmt.Sprintf("k2t-t%d", tt), Params: cfg.params(), Run: func(seed int64) ([][]string, error) {
+			rng := rand.New(rand.NewSource(seed))
+			g := ding.MustGenerate(ding.Config{Kind: ding.Mixed, N: cfg.N, T: tt}, rng)
+			opt, err := mds.ExactMVC(g)
+			if err != nil {
+				return nil, fmt.Errorf("mvc opt: %w", err)
+			}
+			d2 := core.MVCD2(g)
+			a1, err := core.MVCAlg1(g, core.PracticalParams())
+			if err != nil {
+				return nil, fmt.Errorf("mvc alg1: %w", err)
+			}
+			return [][]string{
+				{fmt.Sprintf("K2,%d-minor-free", tt), "Thm 4.4 MVC",
+					fmt.Sprint(tt), ratioString(len(d2.S), len(opt)), fmt.Sprint(g.N())},
+				{fmt.Sprintf("K2,%d-minor-free", tt), "Alg1 MVC variant",
+					"O(1)", ratioString(len(a1.S), len(opt)), fmt.Sprint(g.N())},
+			}, nil
+		}})
+	}
+	// Regular graphs: 0-round 2-approximation (§1). The circulant has
+	// treewidth 4, so exact MVC falls to branch and bound, which is
+	// exponential here (7s at n=120 vs 0.3s at n=96); like the grid rows,
+	// the size is capped — by vertex-transitivity the measured ratio is
+	// size-independent anyway.
+	s.Tasks = append(s.Tasks, Task{Row: "regular", Params: cfg.params(), Run: func(int64) ([][]string, error) {
+		g, err := gen.RegularLike(minInt(cfg.N, 96), 4)
+		if err != nil {
+			return nil, err
+		}
 		opt, err := mds.ExactMVC(g)
 		if err != nil {
-			return nil, fmt.Errorf("mvc opt: %w", err)
+			return nil, err
 		}
-		d2 := core.MVCD2(g)
-		t.AddRow(fmt.Sprintf("K2,%d-minor-free", tt), "Thm 4.4 MVC",
-			fmt.Sprint(tt), ratioString(len(d2.S), len(opt)), fmt.Sprint(g.N()))
-		a1, err := core.MVCAlg1(g, core.PracticalParams())
-		if err != nil {
-			return nil, fmt.Errorf("mvc alg1: %w", err)
-		}
-		t.AddRow(fmt.Sprintf("K2,%d-minor-free", tt), "Alg1 MVC variant",
-			"O(1)", ratioString(len(a1.S), len(opt)), fmt.Sprint(g.N()))
-	}
-	// Regular graphs: 0-round 2-approximation (§1).
-	g, err := gen.RegularLike(cfg.N, 4)
-	if err != nil {
-		return nil, err
-	}
-	opt, err := mds.ExactMVC(g)
-	if err != nil {
-		return nil, err
-	}
-	sol := core.RegularMVC(g)
-	t.AddRow("4-regular", "take all (folklore)", "2",
-		ratioString(len(sol), len(opt)), fmt.Sprint(g.N()))
-	return t, nil
+		sol := core.RegularMVC(g)
+		return [][]string{{"4-regular", "take all (folklore)", "2",
+			ratioString(len(sol), len(opt)), fmt.Sprint(g.N())}}, nil
+	}})
+	return s
 }
 
-// Proposition31 measures the local-to-global transfer machinery: on trees
-// with BFS-annulus covers, the per-class sums of B-dominating optima are
-// bounded by (d+1) MDS(G) via Lemma 5.2, which is the engine of
-// Proposition 3.1.
-func Proposition31(cfg Table1Config) (*Table, error) {
-	t := &Table{
+// MVCTable measures the vertex-cover variants by running MVCTableSpec
+// sequentially with cfg.Seed as the root seed.
+func MVCTable(cfg Table1Config) (*Table, error) {
+	return MVCTableSpec(cfg).RunSequential(cfg.Seed)
+}
+
+// Proposition31Spec declares the local-to-global transfer measurement: on
+// trees with BFS-annulus covers, the per-class sums of B-dominating optima
+// are bounded by (d+1) MDS(G) via Lemma 5.2, which is the engine of
+// Proposition 3.1. One task per instance family.
+func Proposition31Spec(cfg Table1Config) Spec {
+	s := Spec{
+		Name:   "prop31",
 		Title:  "Proposition 3.1 / Lemma 5.2 — per-class domination sums vs (d+1) MDS",
 		Header: []string{"instance", "d+1", "sum_i sum_B MDS(G,N[B])", "(d+1)*MDS", "ok"},
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 2))
 	instances := []struct {
-		name string
-		g    *graph.Graph
+		name  string
+		build func(rng *rand.Rand) *graph.Graph
 	}{
-		{"tree", gen.RandomTree(cfg.N, rng)},
-		{"cactus", gen.RandomCactus(cfg.N, rng)},
-		{"cycle", gen.Cycle(cfg.N)},
+		{"tree", func(rng *rand.Rand) *graph.Graph { return gen.RandomTree(cfg.N, rng) }},
+		{"cactus", func(rng *rand.Rand) *graph.Graph { return gen.RandomCactus(cfg.N, rng) }},
+		{"cycle", func(*rand.Rand) *graph.Graph { return gen.Cycle(cfg.N) }},
 	}
 	for _, inst := range instances {
-		cover, err := asdim.BFSAnnulusCover(inst.g, 5, 2)
-		if err != nil {
-			return nil, err
-		}
-		opt, err := mds.ExactMDS(inst.g)
-		if err != nil {
-			return nil, err
-		}
-		total := 0
-		for _, class := range cover.Classes {
-			comps := inst.g.RComponents(class, 5)
-			family := asdim.RSeparatedSubfamily(inst.g, comps)
-			for _, b := range family {
-				sol, err := mds.ExactBDominating(inst.g, inst.g.BallOfSet(b, 1))
-				if err != nil {
-					return nil, err
-				}
-				total += len(sol)
+		s.Tasks = append(s.Tasks, Task{Row: inst.name, Params: cfg.params(), Run: func(seed int64) ([][]string, error) {
+			g := inst.build(rand.New(rand.NewSource(seed)))
+			cover, err := asdim.BFSAnnulusCover(g, 5, 2)
+			if err != nil {
+				return nil, err
 			}
-		}
-		bound := 2 * len(opt)
-		t.AddRow(inst.name, "2", fmt.Sprint(total), fmt.Sprint(bound),
-			fmt.Sprint(total <= bound))
+			opt, err := mds.ExactMDS(g)
+			if err != nil {
+				return nil, err
+			}
+			total := 0
+			for _, class := range cover.Classes {
+				comps := g.RComponents(class, 5)
+				family := asdim.RSeparatedSubfamily(g, comps)
+				for _, b := range family {
+					sol, err := mds.ExactBDominating(g, g.BallOfSet(b, 1))
+					if err != nil {
+						return nil, err
+					}
+					total += len(sol)
+				}
+			}
+			bound := 2 * len(opt)
+			return [][]string{{inst.name, "2", fmt.Sprint(total), fmt.Sprint(bound),
+				fmt.Sprint(total <= bound)}}, nil
+		}})
 	}
-	return t, nil
+	return s
+}
+
+// Proposition31 measures the Lemma 5.2 transfer bound by running
+// Proposition31Spec sequentially with cfg.Seed as the root seed.
+func Proposition31(cfg Table1Config) (*Table, error) {
+	return Proposition31Spec(cfg).RunSequential(cfg.Seed)
 }
 
 func intSqrt(n int) int {

@@ -1,0 +1,50 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"localmds/internal/ding"
+	"localmds/internal/graph"
+)
+
+// Kinds lists the workload names FromKind accepts, for CLI usage strings.
+const Kinds = "ding|cactus|tree|cycle|grid|outerplanar|cliquependants|gnp"
+
+// FromKind builds one of the named CLI workloads — the single dispatch
+// shared by cmd/graphgen and cmd/mdsrun. Generator panics (gen and graph
+// reject impossible sizes that way) are converted into errors so invalid
+// flag combinations exit cleanly instead of dumping a stack trace. The
+// grid kind uses the largest square with at most n vertices; tParam only
+// affects ding, p only gnp.
+func FromKind(kind string, n, tParam int, p float64, rng *rand.Rand) (g *graph.Graph, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("cannot generate %q with n=%d: %v", kind, n, r)
+		}
+	}()
+	switch kind {
+	case "ding":
+		return ding.Generate(ding.Config{Kind: ding.Mixed, N: n, T: tParam}, rng)
+	case "cactus":
+		return RandomCactus(n, rng), nil
+	case "tree":
+		return RandomTree(n, rng), nil
+	case "cycle":
+		return Cycle(n), nil
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		return Grid(side, side), nil
+	case "outerplanar":
+		return MaximalOuterplanar(n, rng), nil
+	case "cliquependants":
+		return CliquePendants(n / 2), nil
+	case "gnp":
+		return GNPConnected(n, p, rng), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q (want %s)", kind, Kinds)
+	}
+}

@@ -11,16 +11,13 @@ type Sizer interface {
 }
 
 // messageSize estimates a message's size in words: Sizer if implemented,
-// 1 word for scalar identifiers, and a conservative 1 otherwise.
+// a conservative 1 word otherwise (scalar identifiers really are one word;
+// anything larger should implement Sizer).
 func messageSize(m Message) int {
-	switch v := m.(type) {
-	case Sizer:
-		return v.EstimatedSize()
-	case int:
-		return 1
-	default:
-		return 1
+	if s, ok := m.(Sizer); ok {
+		return s.EstimatedSize()
 	}
+	return 1
 }
 
 // EstimatedSize reports the gather message's payload: one word per record

@@ -1,0 +1,38 @@
+package local
+
+import "testing"
+
+// wordsOf is a test message type with a self-reported size.
+type wordsOf int
+
+func (w wordsOf) EstimatedSize() int { return int(w) }
+
+func TestMessageSizeCONGESTAccounting(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  Message
+		want int
+	}{
+		// Scalar identifiers are one CONGEST word.
+		{"int scalar", 7, 1},
+		{"string id", "v12", 1},
+		// Struct messages without a Sizer get the conservative 1-word
+		// floor (they must implement Sizer to be accounted for).
+		{"plain struct", struct{ a, b, c int }{1, 2, 3}, 1},
+		{"nil message", nil, 1},
+		// Sizer implementations are trusted verbatim.
+		{"custom sizer", wordsOf(17), 17},
+		{"zero-size sizer", wordsOf(0), 0},
+		// gatherMsg: one word per record id plus one per adjacency entry.
+		{"gather message", &gatherMsg{records: []gatherRecord{
+			{id: 1, nbrs: []int{2, 3, 4}},
+			{id: 2, nbrs: []int{1}},
+			{id: 9, nbrs: nil},
+		}}, (1 + 3) + (1 + 1) + (1 + 0)},
+	}
+	for _, c := range cases {
+		if got := messageSize(c.msg); got != c.want {
+			t.Errorf("%s: messageSize = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

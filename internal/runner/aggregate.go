@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"localmds/internal/experiments"
+)
+
+// aggregateRows merges the per-replicate row blocks of one task into one
+// block. With one replicate the rows pass through untouched, which keeps
+// the default output of every existing consumer byte-stable. With more,
+// every cell is aggregated across replicates via aggregateCell; all
+// replicates must agree on the block's shape (they ran the same task body,
+// only the seed differed).
+func aggregateRows(reps [][][]string) ([][]string, error) {
+	if len(reps) == 1 {
+		return reps[0], nil
+	}
+	nRows := len(reps[0])
+	for i, rows := range reps {
+		if len(rows) != nRows {
+			return nil, fmt.Errorf("replicate %d produced %d rows, replicate 0 produced %d", i, len(rows), nRows)
+		}
+	}
+	out := make([][]string, nRows)
+	for ri := 0; ri < nRows; ri++ {
+		nCells := len(reps[0][ri])
+		for i, rows := range reps {
+			if len(rows[ri]) != nCells {
+				return nil, fmt.Errorf("replicate %d row %d has %d cells, replicate 0 has %d", i, ri, len(rows[ri]), nCells)
+			}
+		}
+		row := make([]string, nCells)
+		vals := make([]string, len(reps))
+		for ci := 0; ci < nCells; ci++ {
+			for i, rows := range reps {
+				vals[i] = rows[ri][ci]
+			}
+			row[ci] = aggregateCell(vals)
+		}
+		out[ri] = row
+	}
+	return out, nil
+}
+
+// aggregateCell merges one cell across replicates. Cells that are
+// identical in every replicate (paper bounds, class names, fixed sizes)
+// pass through verbatim. Cells whose leading number varies (measured
+// ratios, rounds, counts) aggregate to "mean ±stddev [min..max]" over the
+// leading numbers. Non-numeric divergent cells (e.g. a bound check that
+// failed in some replicates) report the replicate-0 value with a
+// divergence count, never hiding the disagreement.
+func aggregateCell(vals []string) string {
+	identical := true
+	for _, v := range vals[1:] {
+		if v != vals[0] {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		return vals[0]
+	}
+	nums := make([]float64, len(vals))
+	for i, v := range vals {
+		f, ok := experiments.LeadingFloat(v)
+		if !ok {
+			same := 0
+			for _, w := range vals {
+				if w == vals[0] {
+					same++
+				}
+			}
+			return fmt.Sprintf("%s ⟨%d/%d⟩", vals[0], same, len(vals))
+		}
+		nums[i] = f
+	}
+	mean, sd, lo, hi := summarize(nums)
+	return fmt.Sprintf("%s ±%s [%s..%s]", fmtFloat(mean), fmtFloat(sd), fmtFloat(lo), fmtFloat(hi))
+}
+
+// summarize returns the mean, sample standard deviation, min and max.
+func summarize(nums []float64) (mean, sd, lo, hi float64) {
+	lo, hi = nums[0], nums[0]
+	for _, v := range nums {
+		mean += v
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	mean /= float64(len(nums))
+	for _, v := range nums {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(nums)-1))
+	return mean, sd, lo, hi
+}
+
+// fmtFloat renders an aggregate compactly: integers without a fraction,
+// everything else with up to four significant digits.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}

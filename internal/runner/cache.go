@@ -1,0 +1,58 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+)
+
+// cacheKey fingerprints one task execution: a repeated sweep that asks for
+// the same (experiment, row, seed, params) cell is interchangeable with
+// the cached one, whatever run it came from.
+func cacheKey(experiment, row string, seed int64, params string) string {
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%s", experiment, row, seed, params)
+}
+
+// cache is the concurrency-safe completed-task store.
+type cache struct {
+	mu           sync.Mutex
+	rows         map[string][][]string
+	hits, misses int
+}
+
+func newCache() *cache {
+	return &cache{rows: map[string][][]string{}}
+}
+
+// get returns a deep copy of the cached rows so callers can never mutate
+// the stored result.
+func (c *cache) get(key string) ([][]string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rows, ok := c.rows[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return copyRows(rows), true
+}
+
+func (c *cache) put(key string, rows [][]string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rows[key] = copyRows(rows)
+}
+
+func (c *cache) stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+func copyRows(rows [][]string) [][]string {
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		out[i] = append([]string(nil), row...)
+	}
+	return out
+}
