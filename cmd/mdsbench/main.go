@@ -5,8 +5,13 @@
 // Usage:
 //
 //	mdsbench [-seed N] [-rootseed N] [-n N] [-process-n N] [-parallel W]
-//	         [-replicates R] [-only table1|mvc|lemmas|spqr|prop31|cycle|ablation]
+//	         [-replicates R] [-only table1|mvc|lemmas|spqr|prop31|cycle|ablation|stages]
 //	         [-json]
+//
+// The "stages" group profiles the Algorithm 1 pipeline per stage. Its wall
+// times are measurements, not derived values, so it is excluded from the
+// default sweep (which is byte-identical for a fixed root seed regardless
+// of -parallel) and runs only with -only stages.
 //
 // Experiments are decomposed into independent tasks (internal/experiments
 // declares them; internal/runner executes them on a bounded worker pool).
@@ -80,7 +85,7 @@ func run(args []string, stdout io.Writer) error {
 	processN := fs.Int("process-n", 48, "instance size for simulator round measurements")
 	parallel := fs.Int("parallel", 0, "experiment worker pool size (0: all cores)")
 	replicates := fs.Int("replicates", 1, "independently seeded runs per task, aggregated as mean ±stddev [min..max]")
-	only := fs.String("only", "", "run a single experiment group (table1|mvc|lemmas|spqr|prop31|cycle|ablation)")
+	only := fs.String("only", "", "run a single experiment group (table1|mvc|lemmas|spqr|prop31|cycle|ablation|stages)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON results")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -126,6 +131,9 @@ func run(args []string, stdout io.Writer) error {
 			experiments.DensityTableSpec(*n),
 			experiments.BaselinesSpec([]int{*n, 2 * *n, 4 * *n}),
 		}},
+		// Measurement-only group: excluded from the default sweep so the
+		// default output stays byte-identical at any -parallel.
+		{"stages", []experiments.Spec{experiments.StageProfileSpec(*n)}},
 	}
 	if *only != "" {
 		found := false
@@ -145,7 +153,7 @@ func run(args []string, stdout io.Writer) error {
 
 	selected := groups[:0]
 	for _, grp := range groups {
-		if *only == "" || *only == grp.name {
+		if *only == grp.name || (*only == "" && grp.name != "stages") {
 			selected = append(selected, grp)
 		}
 	}

@@ -87,6 +87,22 @@ func TestReplicatesAggregate(t *testing.T) {
 	}
 }
 
+// TestStagesGroupExplicitOnly checks the stage-profile group: selectable
+// with -only stages, absent from the default sweep (its wall-time cells
+// would break the byte-identical-at-any-parallel guarantee).
+func TestStagesGroupExplicitOnly(t *testing.T) {
+	out := bench(t, "-only", "stages")
+	for _, want := range []string{"per-stage profile", "TwinReduce", "ComponentSolve", "multi-component"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stages output missing %q:\n%s", want, out)
+		}
+	}
+	full := bench(t) // the default sweep: every group except stages
+	if strings.Contains(full, "per-stage profile") {
+		t.Error("stage profile leaked into the default sweep")
+	}
+}
+
 func TestInvalidFlagsError(t *testing.T) {
 	cases := [][]string{
 		{"-n", "4"},          // below the lemma-sweep floor

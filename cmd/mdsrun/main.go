@@ -7,7 +7,12 @@
 //
 //	mdsrun -alg alg1|alg1-local|d2|d2-local|tree|greedy|exact|mvc-alg1|mvc-d2 \
 //	       [-graph ding|cactus|tree|cycle|grid|outerplanar|cliquependants|gnp] \
-//	       [-in graph.json] [-n N] [-t T] [-seed S] [-p P] [-r1 R] [-r2 R] [-dot out.dot]
+//	       [-in graph.json] [-n N] [-t T] [-seed S] [-p P] [-r1 R] [-r2 R] \
+//	       [-stages] [-dot out.dot]
+//
+// With -alg alg1 (the staged CSR pipeline), -stages additionally prints the
+// per-stage wall-time/allocation/size table recorded in
+// core.Alg1Result.StageStats.
 package main
 
 import (
@@ -43,6 +48,7 @@ func run(args []string, stdout io.Writer) error {
 	p := fs.Float64("p", 0.05, "edge probability (gnp)")
 	r1 := fs.Int("r1", 4, "Algorithm 1 local 1-cut radius")
 	r2 := fs.Int("r2", 4, "Algorithm 1 local 2-cut radius")
+	stages := fs.Bool("stages", false, "print the Algorithm 1 pipeline per-stage timing/size table (requires -alg alg1)")
 	dotOut := fs.String("dot", "", "write the graph with the solution highlighted to this DOT file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -64,6 +70,9 @@ func run(args []string, stdout io.Writer) error {
 	if *r1 < 0 || *r2 < 0 {
 		return fmt.Errorf("-r1 and -r2 must be >= 0, got %d and %d", *r1, *r2)
 	}
+	if *stages && *alg != "alg1" {
+		return fmt.Errorf("-stages requires -alg alg1 (the staged pipeline), got -alg %s", *alg)
+	}
 
 	g, err := loadGraph(*in, *kind, *n, *tParam, *p, *seed)
 	if err != nil {
@@ -79,7 +88,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "graph: %s (diameter %d)\n", g, g.Diameter())
 	}
 
-	sol, stats, err := solve(g, *alg, core.Params{R1: *r1, R2: *r2})
+	sol, stats, stageStats, err := solve(g, *alg, core.Params{R1: *r1, R2: *r2})
 	if err != nil {
 		return err
 	}
@@ -98,6 +107,9 @@ func run(args []string, stdout io.Writer) error {
 		if err == nil && opt > 0 {
 			fmt.Fprintf(stdout, "optimum: %d, ratio: %.3f\n", opt, float64(len(sol))/float64(opt))
 		}
+	}
+	if *stages {
+		fmt.Fprintf(stdout, "\npipeline stages:\n%s", stageStats.Render())
 	}
 	if *dotOut != "" {
 		if err := os.WriteFile(*dotOut, []byte(g.DOT("solution", sol)), 0o644); err != nil {
@@ -132,38 +144,38 @@ func loadGraph(in, kind string, n, tParam int, p float64, seed int64) (*graph.Gr
 	return gen.FromKind(kind, n, tParam, p, rand.New(rand.NewSource(seed)))
 }
 
-func solve(g *graph.Graph, alg string, p core.Params) ([]int, *local.Stats, error) {
+func solve(g *graph.Graph, alg string, p core.Params) ([]int, *local.Stats, core.StageStats, error) {
 	switch alg {
 	case "alg1":
 		res, err := core.Alg1(g, p)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return res.S, nil, nil
+		return res.S, nil, res.StageStats, nil
 	case "alg1-local":
 		sol, stats, err := core.RunAlg1(g, nil, p, local.Parallel)
-		return sol, &stats, err
+		return sol, &stats, nil, err
 	case "d2":
-		return core.D2(g).S, nil, nil
+		return core.D2(g).S, nil, nil, nil
 	case "d2-local":
 		sol, stats, err := core.RunD2(g, nil, local.Parallel)
-		return sol, &stats, err
+		return sol, &stats, nil, err
 	case "tree":
-		return core.TreeMDS(g), nil, nil
+		return core.TreeMDS(g), nil, nil, nil
 	case "greedy":
-		return mds.GreedyMDS(g), nil, nil
+		return mds.GreedyMDS(g), nil, nil, nil
 	case "exact":
 		sol, err := mds.ExactMDS(g)
-		return sol, nil, err
+		return sol, nil, nil, err
 	case "mvc-alg1":
 		res, err := core.MVCAlg1(g, p)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return res.S, nil, nil
+		return res.S, nil, nil, nil
 	case "mvc-d2":
-		return core.MVCD2(g).S, nil, nil
+		return core.MVCD2(g).S, nil, nil, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown algorithm %q", alg)
+		return nil, nil, nil, fmt.Errorf("unknown algorithm %q", alg)
 	}
 }

@@ -46,6 +46,33 @@ func TestRunMVC(t *testing.T) {
 	}
 }
 
+// TestRunStagesTable checks that -stages prints the pipeline's per-stage
+// table with every stage named, and that it is rejected for algorithms
+// that do not run the staged pipeline.
+func TestRunStagesTable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-graph", "ding", "-n", "60", "-alg", "alg1", "-stages"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"pipeline stages:",
+		"TwinReduce", "Cuts", "Partition", "ComponentSolve", "Stitch", "total",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-stages output missing %q:\n%s", want, got)
+		}
+	}
+
+	var plain strings.Builder
+	if err := run([]string{"-graph", "ding", "-n", "60", "-alg", "alg1"}, &plain); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(plain.String(), "pipeline stages:") {
+		t.Error("stage table printed without -stages")
+	}
+}
+
 // TestRunFromJSONDisconnected drives the generate → encode → solve
 // round-trip and checks the disconnected-graph report: a 3-component
 // graph must say so instead of printing a misleading bare "(diameter 1)".
@@ -107,14 +134,16 @@ func TestRunWritesDOT(t *testing.T) {
 
 func TestInvalidInputsErrorCleanly(t *testing.T) {
 	cases := [][]string{
-		{"-graph", "cycle", "-n", "0"},                    // zero size
-		{"-graph", "cycle", "-n", "-3"},                   // negative size
-		{"-graph", "cycle", "-n", "2"},                    // below the generator's minimum (panics in gen)
-		{"-graph", "ding", "-t", "1"},                     // invalid K_{2,t} parameter
-		{"-graph", "nosuch"},                              // unknown generator
-		{"-alg", "nosuch", "-graph", "cycle", "-n", "12"}, // unknown algorithm
-		{"-r1", "-1", "-graph", "cycle", "-n", "12"},      // negative radius
-		{"-in", "/nonexistent/graph.json"},                // missing input file
+		{"-graph", "cycle", "-n", "0"},                               // zero size
+		{"-graph", "cycle", "-n", "-3"},                              // negative size
+		{"-graph", "cycle", "-n", "2"},                               // below the generator's minimum (panics in gen)
+		{"-graph", "ding", "-t", "1"},                                // invalid K_{2,t} parameter
+		{"-graph", "nosuch"},                                         // unknown generator
+		{"-alg", "nosuch", "-graph", "cycle", "-n", "12"},            // unknown algorithm
+		{"-r1", "-1", "-graph", "cycle", "-n", "12"},                 // negative radius
+		{"-in", "/nonexistent/graph.json"},                           // missing input file
+		{"-stages", "-alg", "greedy", "-graph", "cycle", "-n", "12"}, // -stages without the pipeline
+		{"-stages", "-alg", "d2-local", "-graph", "cycle", "-n", "12"},
 	}
 	for _, args := range cases {
 		var out strings.Builder

@@ -34,21 +34,18 @@ type Alg1Result struct {
 	// BruteFallbacks counts components that exceeded MaxBruteComponent
 	// and were solved greedily instead of exactly.
 	BruteFallbacks int
+	// StageStats records per-stage wall time, allocation, and size
+	// diagnostics of the pipeline run (TwinReduce → Cuts → Partition →
+	// ComponentSolve → Stitch). The legacy sequential path leaves it nil.
+	StageStats StageStats
 }
 
-// Alg1 runs the centralized reference implementation of Algorithm 1
-// (Theorem 4.1) on g with the given radii:
-//
-//  1. reduce true twins,
-//  2. take every vertex of an R1-local minimal 1-cut,
-//  3. take every R2-interesting vertex of an R2-local minimal 2-cut,
-//  4. per component of Ĝ - (X ∪ I ∪ U), brute-force a minimum set
-//     dominating the still-undominated vertices.
-//
-// The result is always a dominating set of g; the 50-approximation
-// guarantee of the paper applies for the PaperParams radii on
-// K_{2,t}-minor-free inputs.
-func Alg1(g *graph.Graph, p Params) (*Alg1Result, error) {
+// Alg1Sequential is the original monolithic implementation of Algorithm 1,
+// running every step on the mutable adjacency representation. It is kept
+// verbatim as the reference the staged CSR pipeline (Alg1 / Alg1Pipeline)
+// is equivalence-tested against: both must produce identical S, X, I, U,
+// Active, and Components for every input.
+func Alg1Sequential(g *graph.Graph, p Params) (*Alg1Result, error) {
 	p, err := p.normalized()
 	if err != nil {
 		return nil, err

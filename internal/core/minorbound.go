@@ -102,8 +102,7 @@ func BuildMinorBound(g *graph.Graph) (*MinorBoundResult, error) {
 	// A-A edges of the intermediate minor (before the deletion step).
 	type aPair struct{ x, y int }
 	var aaEdges []aPair
-	for _, e := range g.Edges() {
-		u, v := e[0], e[1]
+	g.VisitEdges(func(u, v int) {
 		ai, aOK := aIndex[u]
 		bj := branchOf[v]
 		switch {
@@ -119,7 +118,7 @@ func BuildMinorBound(g *graph.Graph) (*MinorBoundResult, error) {
 		case aOK && aIndex2(aIndex, v) >= 0:
 			aaEdges = append(aaEdges, aPair{x: ai, y: aIndex[v]})
 		}
-	}
+	})
 
 	// Lemma 5.17's final trick: J = non-isolated vertices of H[A]; a
 	// dominating set D' of H[A][J] with |D'| <= |J|/2 (Ore) is contracted

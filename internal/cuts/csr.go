@@ -1,0 +1,134 @@
+// CSR-native cut enumeration: ports of the Algorithm 1 step-2/step-3
+// detectors (r-local minimal 1-cuts and r-interesting vertices) that run
+// over a frozen graph.CSR with arena scratch instead of rebuilding induced
+// ball subgraphs through the allocating Graph accessors. Each port returns
+// exactly the set its adjacency-list counterpart returns; the pipeline
+// equivalence suite in internal/core checks that on randomized instances.
+package cuts
+
+import (
+	"slices"
+
+	"localmds/internal/graph"
+)
+
+// LocalOneCutsCSR returns all vertices v such that {v} is an r-local
+// minimal 1-cut of c (Definition 2.1 with k = 1), ascending. A ball
+// subgraph is always connected (every member reaches its center inside the
+// ball), so v is a local 1-cut iff removing v disconnects c[N^r[v]].
+func LocalOneCutsCSR(c *graph.CSR, r int, a *graph.Arena) []int {
+	var out []int
+	var ball []int32
+	var sub graph.CSR
+	for v := 0; v < c.N(); v++ {
+		ball = c.AppendBall(ball[:0], v, r, a)
+		if len(ball) < 3 {
+			continue // graphs on <= 2 vertices have no cut vertex
+		}
+		c.InducedInto(&sub, ball, a)
+		local, _ := slices.BinarySearch(ball, int32(v))
+		if !sub.ConnectedWithout(local, a) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// LocallyInterestingVerticesCSR returns the set I of Algorithm 1 step 3 —
+// all vertices that are r-interesting through some r-local minimal 2-cut
+// (§3.2) — ascending, over the CSR view.
+func LocallyInterestingVerticesCSR(c *graph.CSR, r int, a *graph.Arena) []int {
+	n := c.N()
+	interesting := make([]bool, n)
+	var ballU, ball2, pair []int32
+	var sub graph.CSR
+	var flags []bool // per-component scratch for the interestingness count
+	for u := 0; u < n; u++ {
+		ballU = c.AppendBall(ballU[:0], u, r, a)
+		for _, v32 := range ballU {
+			v := int(v32)
+			if v == u || (interesting[u] && interesting[v]) {
+				continue
+			}
+			// Build c[N^r[{u, v}]] once for the cut test and both
+			// interestingness directions.
+			pair = append(pair[:0], int32(u), v32)
+			ball2 = c.AppendBallOfSet(ball2[:0], pair, r, a)
+			c.InducedInto(&sub, ball2, a)
+			lu, _ := slices.BinarySearch(ball2, int32(u))
+			lv, _ := slices.BinarySearch(ball2, v32)
+			// One component labeling of sub - {lu, lv} serves the cut test
+			// and both interestingness directions (the exclusion order is
+			// irrelevant, and nothing below invalidates the arena labels).
+			labels, num := sub.ComponentLabels(lu, lv, a)
+			if num < 2 || !seesTwoComponentsCSR(&sub, lu, labels) || !seesTwoComponentsCSR(&sub, lv, labels) {
+				continue
+			}
+			if !interesting[u] && isInterestingDirectionCSR(c, &sub, u, v, lv, labels, num, &flags) {
+				interesting[u] = true
+			}
+			if !interesting[v] && isInterestingDirectionCSR(c, &sub, v, u, lu, labels, num, &flags) {
+				interesting[v] = true
+			}
+		}
+	}
+	var out []int
+	for v, ok := range interesting {
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// seesTwoComponentsCSR reports whether w has neighbors in at least two
+// distinct components per the labeling.
+func seesTwoComponentsCSR(sub *graph.CSR, w int, labels []int32) bool {
+	first := int32(-1)
+	for _, y := range sub.Row(w) {
+		c := labels[y]
+		if c < 0 {
+			continue
+		}
+		if first < 0 {
+			first = c
+		} else if c != first {
+			return true
+		}
+	}
+	return false
+}
+
+// isInterestingDirectionCSR reports whether self is r-interesting through
+// the cut {self, other} (§3.2): N[self] ⊈ N[other] in the full graph, and
+// at least two components of sub - cut each contain a vertex non-adjacent
+// to other. sub must be c[N^r[{self, other}]], labels/num its component
+// labeling with the cut pair excluded, and lOther the local index of
+// other.
+func isInterestingDirectionCSR(c, sub *graph.CSR, self, other, lOther int, labels []int32, num int, flags *[]bool) bool {
+	if c.ClosedSubset(self, other) {
+		return false
+	}
+	if cap(*flags) < num {
+		*flags = make([]bool, num)
+	}
+	f := (*flags)[:num]
+	for i := range f {
+		f[i] = false
+	}
+	count := 0
+	otherRow := sub.Row(lOther)
+	for x := 0; x < sub.N(); x++ {
+		lbl := labels[x]
+		if lbl < 0 || f[lbl] {
+			continue
+		}
+		if _, adjacent := slices.BinarySearch(otherRow, int32(x)); !adjacent {
+			f[lbl] = true
+			if count++; count >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}

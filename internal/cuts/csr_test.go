@@ -1,0 +1,85 @@
+package cuts
+
+import (
+	"math/rand"
+	"testing"
+
+	"localmds/internal/graph"
+)
+
+func randomCutGraph(n int, p float64, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	// A sprinkle of pendants and bridges makes cut structure likely.
+	for i := 0; i+1 < n; i += 5 {
+		if !g.HasEdge(i, i+1) {
+			g.AddEdge(i, i+1)
+		}
+	}
+	return g
+}
+
+func TestLocalOneCutsCSRMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := graph.NewArena()
+	for trial := 0; trial < 20; trial++ {
+		g := randomCutGraph(20, 0.08, rng)
+		c := g.Freeze()
+		for _, r := range []int{1, 2, 3, 4} {
+			want := LocalOneCuts(g, r)
+			got := LocalOneCutsCSR(c, r, a)
+			if !graph.EqualSets(got, want) {
+				t.Fatalf("trial %d r=%d: CSR = %v, legacy = %v", trial, r, got, want)
+			}
+		}
+	}
+}
+
+func TestLocallyInterestingVerticesCSRMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := graph.NewArena()
+	for trial := 0; trial < 12; trial++ {
+		g := randomCutGraph(16, 0.1, rng)
+		c := g.Freeze()
+		for _, r := range []int{2, 3, 4} {
+			want := LocallyInterestingVertices(g, r)
+			got := LocallyInterestingVerticesCSR(c, r, a)
+			if !graph.EqualSets(got, want) {
+				t.Fatalf("trial %d r=%d: CSR = %v, legacy = %v", trial, r, got, want)
+			}
+		}
+	}
+}
+
+func TestLocalCutsCSREdgeCases(t *testing.T) {
+	a := graph.NewArena()
+	// Single vertex, single edge, triangle: no cuts anywhere.
+	for _, n := range []int{1, 2, 3} {
+		g := graph.New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				g.AddEdge(u, v)
+			}
+		}
+		if got := LocalOneCutsCSR(g.Freeze(), 3, a); len(got) != 0 {
+			t.Errorf("K%d: unexpected local 1-cuts %v", n, got)
+		}
+		if got := LocallyInterestingVerticesCSR(g.Freeze(), 3, a); len(got) != 0 {
+			t.Errorf("K%d: unexpected interesting vertices %v", n, got)
+		}
+	}
+	// A path's interior vertices are local 1-cuts at any radius.
+	p := graph.New(5)
+	for i := 0; i < 4; i++ {
+		p.AddEdge(i, i+1)
+	}
+	if got := LocalOneCutsCSR(p.Freeze(), 2, a); !graph.EqualSets(got, []int{1, 2, 3}) {
+		t.Errorf("path local 1-cuts = %v, want [1 2 3]", got)
+	}
+}

@@ -129,11 +129,11 @@ func VerifyTypeI(g *graph.Graph, cycleOrder []int) error {
 		return d == 1 || d == n-1
 	}
 	var chords [][2]int
-	for _, e := range g.Edges() {
-		if !isCycleEdge(e[0], e[1]) {
-			chords = append(chords, e)
+	g.VisitEdges(func(u, v int) {
+		if !isCycleEdge(u, v) {
+			chords = append(chords, [2]int{u, v})
 		}
-	}
+	})
 	crossCount := make([]int, len(chords))
 	for i := 0; i < len(chords); i++ {
 		for j := i + 1; j < len(chords); j++ {
@@ -230,12 +230,12 @@ func Augment(base *graph.Graph, attachments []*Attachment) (*graph.Graph, error)
 				offset[v] = result.AddVertex()
 			}
 		}
-		for _, e := range gadget.Edges() {
-			u, v := offset[e[0]], offset[e[1]]
+		gadget.VisitEdges(func(a, b int) {
+			u, v := offset[a], offset[b]
 			if u != v && !result.HasEdge(u, v) {
 				result.AddEdge(u, v)
 			}
-		}
+		})
 	}
 	return result, nil
 }

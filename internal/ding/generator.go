@@ -83,9 +83,9 @@ func glueGadgetAt(g *graph.Graph, gadget *graph.Graph, anchor, at int) {
 			offset[v] = g.AddVertex()
 		}
 	}
-	for _, e := range gadget.Edges() {
-		g.AddEdge(offset[e[0]], offset[e[1]])
-	}
+	gadget.VisitEdges(func(u, v int) {
+		g.AddEdge(offset[u], offset[v])
+	})
 }
 
 // randomBlock returns a small 2-connected K_{2,min(5,t)}-minor-free gadget

@@ -57,12 +57,12 @@ func (g *Graph) Nabla1LowerBound() float64 {
 	for i := range matched {
 		matched[i] = -1
 	}
-	for _, e := range g.Edges() {
-		if matched[e[0]] < 0 && matched[e[1]] < 0 {
-			matched[e[0]] = e[1]
-			matched[e[1]] = e[0]
+	g.VisitEdges(func(u, v int) {
+		if matched[u] < 0 && matched[v] < 0 {
+			matched[u] = v
+			matched[v] = u
 		}
-	}
+	})
 	var groups [][]int
 	for v := 0; v < g.N(); v++ {
 		if matched[v] > v {

@@ -71,9 +71,9 @@ func (g *Graph) DOT(name string, highlight []int) string {
 			fmt.Fprintf(&b, "  %d;\n", v)
 		}
 	}
-	for _, e := range g.Edges() {
-		fmt.Fprintf(&b, "  %d -- %d;\n", e[0], e[1])
-	}
+	g.VisitEdges(func(u, v int) {
+		fmt.Fprintf(&b, "  %d -- %d;\n", u, v)
+	})
 	b.WriteString("}\n")
 	return b.String()
 }

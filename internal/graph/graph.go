@@ -157,14 +157,23 @@ func (g *Graph) MinDegree() int {
 // Edges returns all edges as pairs (u, v) with u < v, in lexicographic order.
 func (g *Graph) Edges() [][2]int {
 	edges := make([][2]int, 0, g.m)
+	g.VisitEdges(func(u, v int) {
+		edges = append(edges, [2]int{u, v})
+	})
+	return edges
+}
+
+// VisitEdges calls fn for every edge (u, v) with u < v, in lexicographic
+// order, without materializing an edge list. Prefer it over Edges in
+// per-call paths that only need to scan the edges once.
+func (g *Graph) VisitEdges(fn func(u, v int)) {
 	for u := range g.adj {
 		for _, v := range g.adj[u] {
 			if u < v {
-				edges = append(edges, [2]int{u, v})
+				fn(u, v)
 			}
 		}
 	}
-	return edges
 }
 
 // Clone returns a deep copy of g.

@@ -76,8 +76,7 @@ func (g *Graph) ContractEdge(u, v int) (*Graph, []int) {
 		index[w] = i
 	}
 	h := New(len(keep))
-	for _, e := range g.Edges() {
-		a, b := e[0], e[1]
+	g.VisitEdges(func(a, b int) {
 		if a == v {
 			a = u
 		}
@@ -85,13 +84,13 @@ func (g *Graph) ContractEdge(u, v int) (*Graph, []int) {
 			b = u
 		}
 		if a == b {
-			continue
+			return
 		}
 		ia, ib := index[a], index[b]
 		if !h.HasEdge(ia, ib) {
 			h.AddEdge(ia, ib)
 		}
-	}
+	})
 	return h, keep
 }
 
@@ -99,13 +98,9 @@ func (g *Graph) ContractEdge(u, v int) (*Graph, []int) {
 // shifted by g.N().
 func DisjointUnion(g, h *Graph) *Graph {
 	u := New(g.N() + h.N())
-	for _, e := range g.Edges() {
-		u.AddEdge(e[0], e[1])
-	}
+	g.VisitEdges(func(a, b int) { u.AddEdge(a, b) })
 	off := g.N()
-	for _, e := range h.Edges() {
-		u.AddEdge(e[0]+off, e[1]+off)
-	}
+	h.VisitEdges(func(a, b int) { u.AddEdge(a+off, b+off) })
 	return u
 }
 
@@ -139,16 +134,16 @@ func IdentifyVertices(g *Graph, groups [][]int) (*Graph, []int) {
 		index[v] = i
 	}
 	h := New(len(keep))
-	for _, e := range g.Edges() {
-		a, b := rep[e[0]], rep[e[1]]
+	g.VisitEdges(func(eu, ev int) {
+		a, b := rep[eu], rep[ev]
 		if a == b {
-			continue
+			return
 		}
 		ia, ib := index[a], index[b]
 		if !h.HasEdge(ia, ib) {
 			h.AddEdge(ia, ib)
 		}
-	}
+	})
 	return h, keep
 }
 

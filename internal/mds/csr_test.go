@@ -1,0 +1,120 @@
+package mds
+
+import (
+	"math/rand"
+	"testing"
+
+	"localmds/internal/graph"
+)
+
+func randomMDSGraph(n int, p float64, rng *rand.Rand) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func randomTarget(n int, rng *rand.Rand) []int {
+	var target []int
+	for v := 0; v < n; v++ {
+		if rng.Intn(2) == 0 {
+			target = append(target, v)
+		}
+	}
+	return target
+}
+
+func TestExactBDominatingCSRMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		g := randomMDSGraph(14, 0.15, rng)
+		c := g.Freeze()
+		target := randomTarget(g.N(), rng)
+		want, errWant := ExactBDominating(g, target)
+		got, errGot := ExactBDominatingCSR(c, target)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("trial %d: err mismatch: %v vs %v", trial, errWant, errGot)
+		}
+		if errWant != nil {
+			continue
+		}
+		if !graph.EqualSets(got, want) {
+			t.Fatalf("trial %d: CSR = %v, legacy = %v (target %v)", trial, got, want, target)
+		}
+	}
+}
+
+func TestExactBDominatingCSRTreewidth2Dispatch(t *testing.T) {
+	// A long cycle has treewidth 2 and exceeds nothing; both entry points
+	// must dispatch to the DP and agree.
+	n := 30
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	target := make([]int, n)
+	for i := range target {
+		target[i] = i
+	}
+	want, err := ExactBDominating(g, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExactBDominatingCSR(g.Freeze(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.EqualSets(got, want) {
+		t.Fatalf("CSR = %v, legacy = %v", got, want)
+	}
+}
+
+func TestGreedyBDominatingCSRMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 25; trial++ {
+		g := randomMDSGraph(20, 0.12, rng)
+		c := g.Freeze()
+		target := randomTarget(g.N(), rng)
+		covers := make([][]int, g.N())
+		inB := make([]bool, g.N())
+		for _, v := range target {
+			inB[v] = true
+		}
+		for v := 0; v < g.N(); v++ {
+			for _, u := range g.Ball(v, 1) {
+				if inB[u] {
+					covers[v] = append(covers[v], u)
+				}
+			}
+		}
+		want := greedyBDominatingGeneric(g, target, covers)
+		got := GreedyBDominatingCSR(c, target)
+		if !graph.EqualSets(got, want) {
+			t.Fatalf("trial %d: CSR greedy = %v, generic = %v (target %v)", trial, got, want, target)
+		}
+		if len(target) > 0 && !DominatesSetCSR(c, got, target) {
+			t.Fatalf("trial %d: greedy CSR result not dominating", trial)
+		}
+	}
+}
+
+func TestDominationPredicatesCSRMatchLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 30; trial++ {
+		g := randomMDSGraph(16, 0.12, rng)
+		c := g.Freeze()
+		s := randomTarget(g.N(), rng)
+		target := randomTarget(g.N(), rng)
+		if got, want := DominatesSetCSR(c, s, target), DominatesSet(g, s, target); got != want {
+			t.Fatalf("DominatesSetCSR = %v, want %v (s=%v target=%v)", got, want, s, target)
+		}
+		if got, want := IsDominatingSetCSR(c, s), IsDominatingSet(g, s); got != want {
+			t.Fatalf("IsDominatingSetCSR = %v, want %v (s=%v)", got, want, s)
+		}
+	}
+}

@@ -49,9 +49,14 @@ func IsVertexCover(g *graph.Graph, s []int) bool {
 		}
 		in[v] = true
 	}
-	for _, e := range g.Edges() {
-		if !in[e[0]] && !in[e[1]] {
-			return false
+	for u := 0; u < g.N(); u++ {
+		if in[u] {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if u < v && !in[v] {
+				return false
+			}
 		}
 	}
 	return true

@@ -114,12 +114,12 @@ func residualMatchingSize(g *graph.Graph, removed []bool) int {
 func MatchingVertexCover(g *graph.Graph) []int {
 	used := make([]bool, g.N())
 	var cover []int
-	for _, e := range g.Edges() {
-		if !used[e[0]] && !used[e[1]] {
-			used[e[0]], used[e[1]] = true, true
-			cover = append(cover, e[0], e[1])
+	g.VisitEdges(func(u, v int) {
+		if !used[u] && !used[v] {
+			used[u], used[v] = true, true
+			cover = append(cover, u, v)
 		}
-	}
+	})
 	sort.Ints(cover)
 	return cover
 }

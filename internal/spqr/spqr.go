@@ -99,10 +99,10 @@ func Decompose(g *graph.Graph) (*Tree, error) {
 		return nil, fmt.Errorf("spqr: graph is not 2-connected")
 	}
 	d := &decomposer{nextID: 0}
-	var edges []Edge
-	for _, e := range g.Edges() {
-		edges = append(edges, Edge{U: e[0], V: e[1], ID: d.fresh(), Twin: -1})
-	}
+	edges := make([]Edge, 0, g.M())
+	g.VisitEdges(func(u, v int) {
+		edges = append(edges, Edge{U: u, V: v, ID: d.fresh(), Twin: -1})
+	})
 	nodes := d.split(edges)
 	t := &Tree{Nodes: nodes}
 	t.rebuildAdj()
