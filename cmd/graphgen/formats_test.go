@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestConvertBetweenFormats: generate once, then convert json → edgelist
+// → dimacs → json through -in/-format and confirm the graph survives.
+func TestConvertBetweenFormats(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "g.json")
+	var out strings.Builder
+	if err := run([]string{"-kind", "grid", "-n", "20", "-o", jsonPath}, &out); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	elPath := filepath.Join(dir, "g.edges")
+	if err := run([]string{"-in", jsonPath, "-format", "edgelist", "-o", elPath}, &out); err != nil {
+		t.Fatalf("to edgelist: %v", err)
+	}
+	dimacsPath := filepath.Join(dir, "g.dimacs")
+	if err := run([]string{"-in", elPath, "-format", "dimacs", "-o", dimacsPath}, &out); err != nil {
+		t.Fatalf("to dimacs: %v", err)
+	}
+	var back strings.Builder
+	if err := run([]string{"-in", dimacsPath, "-format", "json"}, &back); err != nil {
+		t.Fatalf("back to json: %v", err)
+	}
+	orig, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(back.String()) != strings.TrimSpace(string(orig)) {
+		t.Fatalf("round trip changed the graph:\n%s\nvs\n%s", orig, back.String())
+	}
+}
+
+// TestEmitEdgeListAndDIMACS: the new output formats have the expected
+// shapes.
+func TestEmitEdgeListAndDIMACS(t *testing.T) {
+	var el strings.Builder
+	if err := run([]string{"-kind", "cycle", "-n", "5", "-format", "edgelist"}, &el); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(el.String(), "5\n0 1\n") {
+		t.Fatalf("edge list shape: %q", el.String())
+	}
+	var dim strings.Builder
+	if err := run([]string{"-kind", "cycle", "-n", "5", "-format", "dimacs"}, &dim); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(dim.String(), "p edge 5 5\ne 1 2\n") {
+		t.Fatalf("dimacs shape: %q", dim.String())
+	}
+}
+
+// TestConvertMalformedErrorsCleanly: a broken input exits with a located
+// error, never a panic.
+func TestConvertMalformedErrorsCleanly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte("0 1\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-in", path, "-format", "json"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-located error, got %v", err)
+	}
+}

@@ -1,10 +1,17 @@
 // Command graphgen emits workload graphs as JSON (the format graph.ReadJSON
-// accepts) or Graphviz DOT.
+// accepts), plain edge lists, DIMACS, or Graphviz DOT — either generating
+// them or converting a graph read from a file or stdin.
 //
 // Usage:
 //
 //	graphgen -kind ding|cactus|tree|cycle|grid|outerplanar|cliquependants|gnp \
-//	         [-n N] [-t T] [-seed S] [-p P] [-format json|dot] [-o out]
+//	         [-n N] [-t T] [-seed S] [-p P] \
+//	         [-in graph|-] [-informat auto|json|edgelist|dimacs] \
+//	         [-format json|dot|edgelist|dimacs] [-o out]
+//
+// With -in, graphgen converts instead of generating: the input encoding is
+// auto-detected (or pinned with -informat) and malformed input exits 1
+// with a line/column message.
 package main
 
 import (
@@ -16,6 +23,8 @@ import (
 	"os"
 
 	"localmds/internal/gen"
+	"localmds/internal/graph"
+	"localmds/internal/graphio"
 )
 
 func main() {
@@ -32,7 +41,9 @@ func run(args []string, stdout io.Writer) error {
 	tParam := fs.Int("t", 5, "K_{2,t} parameter (ding)")
 	seed := fs.Int64("seed", 1, "seed")
 	p := fs.Float64("p", 0.05, "edge probability (gnp)")
-	format := fs.String("format", "json", "output format: json|dot")
+	in := fs.String("in", "", "convert a graph read from this file (\"-\": stdin) instead of generating")
+	informat := fs.String("informat", "auto", "input encoding for -in: auto|json|edgelist|dimacs")
+	format := fs.String("format", "json", "output format: json|dot|edgelist|dimacs")
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -40,17 +51,19 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return err
 	}
-	if *n < 1 {
-		return fmt.Errorf("-n must be >= 1, got %d", *n)
-	}
-	if *kind == "ding" && *tParam < 3 {
-		return fmt.Errorf("-t must be >= 3 for the ding generator, got %d", *tParam)
-	}
-	if *p < 0 || *p > 1 {
-		return fmt.Errorf("-p must be a probability in [0, 1], got %g", *p)
+	if *in == "" {
+		if *n < 1 {
+			return fmt.Errorf("-n must be >= 1, got %d", *n)
+		}
+		if *kind == "ding" && *tParam < 3 {
+			return fmt.Errorf("-t must be >= 3 for the ding generator, got %d", *tParam)
+		}
+		if *p < 0 || *p > 1 {
+			return fmt.Errorf("-p must be a probability in [0, 1], got %g", *p)
+		}
 	}
 
-	g, err := gen.FromKind(*kind, *n, *tParam, *p, rand.New(rand.NewSource(*seed)))
+	g, err := loadOrGenerate(*in, *informat, *kind, *n, *tParam, *p, *seed)
 	if err != nil {
 		return err
 	}
@@ -67,10 +80,27 @@ func run(args []string, stdout io.Writer) error {
 	switch *format {
 	case "json":
 		return g.WriteJSON(w)
+	case "edgelist":
+		return graphio.WriteEdgeList(w, g)
+	case "dimacs":
+		return graphio.WriteDIMACS(w, g)
 	case "dot":
 		_, err := io.WriteString(w, g.DOT(*kind, nil))
 		return err
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+}
+
+// loadOrGenerate converts from -in (any graphio format) or generates via
+// the shared gen.FromKind dispatch.
+func loadOrGenerate(in, informat, kind string, n, tParam int, p float64, seed int64) (*graph.Graph, error) {
+	if in == "" {
+		return gen.FromKind(kind, n, tParam, p, rand.New(rand.NewSource(seed)))
+	}
+	f, err := graphio.ParseFormat(informat)
+	if err != nil {
+		return nil, err
+	}
+	return graphio.ReadFile(in, f)
 }

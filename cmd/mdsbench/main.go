@@ -5,8 +5,13 @@
 // Usage:
 //
 //	mdsbench [-seed N] [-rootseed N] [-n N] [-process-n N] [-parallel W]
-//	         [-replicates R] [-only table1|mvc|lemmas|spqr|prop31|cycle|ablation|stages]
+//	         [-replicates R] [-timeout D]
+//	         [-only table1|mvc|lemmas|spqr|prop31|cycle|ablation|stages]
 //	         [-json]
+//
+// -timeout bounds each task (e.g. -timeout 30s): a pathological row fails
+// the sweep with a "timed out" error naming the cell instead of stalling
+// it forever.
 //
 // The "stages" group profiles the Algorithm 1 pipeline per stage. Its wall
 // times are measurements, not derived values, so it is excluded from the
@@ -85,6 +90,7 @@ func run(args []string, stdout io.Writer) error {
 	processN := fs.Int("process-n", 48, "instance size for simulator round measurements")
 	parallel := fs.Int("parallel", 0, "experiment worker pool size (0: all cores)")
 	replicates := fs.Int("replicates", 1, "independently seeded runs per task, aggregated as mean ±stddev [min..max]")
+	timeout := fs.Duration("timeout", 0, "per-task timeout, e.g. 30s (0: unbounded)")
 	only := fs.String("only", "", "run a single experiment group (table1|mvc|lemmas|spqr|prop31|cycle|ablation|stages)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON results")
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +110,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *replicates < 1 {
 		return fmt.Errorf("-replicates must be >= 1, got %d", *replicates)
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
 	}
 	root := *seed
 	if *rootSeed != 0 {
@@ -149,7 +158,7 @@ func run(args []string, stdout io.Writer) error {
 
 	// One runner (and one result cache) across every group, so a repeated
 	// sweep within the process skips identical tasks.
-	r := runner.New(runner.Options{Workers: *parallel, Replicates: *replicates, RootSeed: root})
+	r := runner.New(runner.Options{Workers: *parallel, Replicates: *replicates, RootSeed: root, TaskTimeout: *timeout})
 
 	selected := groups[:0]
 	for _, grp := range groups {

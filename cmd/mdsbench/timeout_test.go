@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTaskTimeoutTripsAndNames: an absurdly small -timeout fails the
+// sweep with an error that says "timed out" and names the offending cell
+// instead of hanging.
+func TestTaskTimeoutTripsAndNames(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-n", "40", "-process-n", "16", "-only", "table1", "-timeout", "1ns"}, &out)
+	if err == nil {
+		t.Fatal("run with -timeout 1ns succeeded, want a timeout error")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("error %q does not mention the timeout", err)
+	}
+	if !strings.Contains(err.Error(), "table1") {
+		t.Fatalf("error %q does not name the experiment", err)
+	}
+}
+
+// TestGenerousTimeoutHarmless: a generous -timeout leaves the output
+// byte-identical to an unbounded run.
+func TestGenerousTimeoutHarmless(t *testing.T) {
+	plain := bench(t, "-only", "spqr")
+	bounded := bench(t, "-only", "spqr", "-timeout", "10m")
+	if plain != bounded {
+		t.Fatalf("-timeout changed the output:\n%s\nvs\n%s", plain, bounded)
+	}
+}
+
+func TestNegativeTimeoutRejected(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-timeout", "-5s"}, &out); err == nil {
+		t.Fatal("negative -timeout accepted")
+	}
+}

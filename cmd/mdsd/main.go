@@ -1,0 +1,106 @@
+// Command mdsd is the long-running solve daemon: an HTTP/JSON service
+// accepting Algorithm 1 solve requests (inline graph, edge-list/DIMACS/
+// JSON payload, or generator spec) on a bounded job queue, with a
+// content-addressed LRU result cache so identical graphs are never
+// recomputed, and per-stage pipeline diagnostics in every response.
+//
+// Usage:
+//
+//	mdsd [-addr :8377] [-workers W] [-queue Q] [-cache N]
+//	     [-timeout D] [-pipeline-workers W]
+//
+// Endpoints: POST /v1/solve, POST /v1/batch, GET /v1/jobs/{id},
+// GET /healthz, GET /metrics. See EXPERIMENTS.md ("Serving") for curl
+// examples.
+//
+// SIGTERM/SIGINT drain gracefully: the listener closes, accepted jobs
+// finish, then the process exits. A second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"localmds/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "mdsd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mdsd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8377", "listen address")
+	workers := fs.Int("workers", 0, "solver pool size (0: all cores)")
+	queue := fs.Int("queue", 64, "max queued jobs beyond the running ones (full queue sheds with 503)")
+	cacheEntries := fs.Int("cache", 256, "content-addressed result cache capacity (entries)")
+	timeout := fs.Duration("timeout", 0, "per-job solve timeout (0: unbounded)")
+	pipelineWorkers := fs.Int("pipeline-workers", 1, "ComponentSolve fan-out per job (1: scale across requests, not within one)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *workers < 0 || *queue < 1 || *cacheEntries < 1 || *pipelineWorkers < 0 {
+		return fmt.Errorf("-workers and -pipeline-workers must be >= 0, -queue and -cache >= 1")
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
+	}
+
+	svc := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cacheEntries,
+		JobTimeout:      *timeout,
+		PipelineWorkers: *pipelineWorkers,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "mdsd: listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-serveErr:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight HTTP exchanges and
+	// accepted jobs finish. A second signal (stop() restored default
+	// handling) kills the process the usual way.
+	stop()
+	fmt.Fprintf(stdout, "mdsd: draining (signal received)\n")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		svc.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	svc.Drain()
+	fmt.Fprintf(stdout, "mdsd: drained, bye\n")
+	return nil
+}

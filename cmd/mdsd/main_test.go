@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-queue", "0"},
+		{"-cache", "0"},
+		{"-workers", "-1"},
+		{"-timeout", "-1s"},
+		{"-addr", "not-an-address"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Fatalf("run(%v): want error", args)
+		}
+	}
+	// -h prints usage and exits cleanly.
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("run(-h): %v", err)
+	}
+}
+
+// syncBuffer lets the daemon goroutine write stdout while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeSolveAndGracefulDrain boots the daemon on an ephemeral port,
+// solves one edge list over HTTP, then delivers SIGTERM and expects a
+// clean drain.
+func TestServeSolveAndGracefulDrain(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &out)
+	}()
+
+	// Wait for the listening line to learn the port.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output: %q", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "mdsd: listening on "); ok {
+				addr = rest
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	body := `{"data": "0 1\n1 2\n2 3\n3 0\n"}`
+	resp, err := http.Post("http://"+addr+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		Status string `json:"status"`
+		Valid  bool   `json:"valid"`
+		Result struct {
+			S []int `json:"s"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || view.Status != "done" || !view.Valid {
+		t.Fatalf("solve over the daemon failed: %d %+v", resp.StatusCode, view)
+	}
+	if len(view.Result.S) == 0 {
+		t.Fatalf("empty dominating set for C4: %+v", view)
+	}
+
+	// SIGTERM → graceful drain → clean exit.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not drain after SIGTERM; output: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "drained, bye") {
+		t.Fatalf("missing drain log: %q", out.String())
+	}
+}

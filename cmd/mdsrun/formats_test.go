@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTemp writes content into a temp file and returns its path.
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunFromEdgeListAndDIMACS: -in auto-detects all three encodings of
+// the same C6 and produces identical reports.
+func TestRunFromEdgeListAndDIMACS(t *testing.T) {
+	inputs := map[string]string{
+		"c6.json":   `{"n":6,"edges":[[0,1],[1,2],[2,3],[3,4],[4,5],[0,5]]}`,
+		"c6.txt":    "0 1\n1 2\n2 3\n3 4\n4 5\n5 0\n",
+		"c6.dimacs": "c cycle on six vertices\np edge 6 6\ne 1 2\ne 2 3\ne 3 4\ne 4 5\ne 5 6\ne 6 1\n",
+	}
+	var reports []string
+	for name, content := range inputs {
+		var out strings.Builder
+		if err := run([]string{"-in", writeTemp(t, name, content), "-alg", "alg1"}, &out); err != nil {
+			t.Fatalf("run(-in %s): %v", name, err)
+		}
+		if !strings.Contains(out.String(), "valid dominating set: true") {
+			t.Fatalf("%s: %s", name, out.String())
+		}
+		reports = append(reports, out.String())
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i] != reports[0] {
+			t.Fatalf("reports differ across input formats:\n%s\nvs\n%s", reports[0], reports[i])
+		}
+	}
+}
+
+// TestRunExplicitFormat: -format pins the parser even when detection
+// would pick another.
+func TestRunExplicitFormat(t *testing.T) {
+	path := writeTemp(t, "p4.edges", "0 1\n1 2\n2 3\n")
+	var out strings.Builder
+	if err := run([]string{"-in", path, "-format", "edgelist", "-alg", "greedy"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "valid dominating set: true") {
+		t.Fatal(out.String())
+	}
+}
+
+// TestRunMalformedInputLineColumn: malformed text input fails with a
+// line/column message and no panic — the no-panics hardening contract.
+func TestRunMalformedInputLineColumn(t *testing.T) {
+	cases := map[string]string{
+		"bad.txt":    "0 1\n1 x\n",
+		"bad.dimacs": "p edge 3 1\ne 1 9\n",
+		"bad.json":   `{"n":2,"edges":[[0,5]]}`,
+	}
+	for name, content := range cases {
+		var out strings.Builder
+		err := run([]string{"-in", writeTemp(t, name, content), "-alg", "greedy"}, &out)
+		if err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+		if strings.HasSuffix(name, ".json") {
+			continue // JSON errors carry no line/col, just a clean message
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("%s: error %q lacks line position", name, err)
+		}
+	}
+}
+
+// TestRunFromStdin: "-in -" reads the graph from stdin.
+func TestRunFromStdin(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = old }()
+	go func() {
+		w.WriteString("0 1\n1 2\n2 0\n")
+		w.Close()
+	}()
+	var out strings.Builder
+	if err := run([]string{"-in", "-", "-alg", "greedy"}, &out); err != nil {
+		t.Fatalf("run(-in -): %v", err)
+	}
+	if !strings.Contains(out.String(), "valid dominating set: true") {
+		t.Fatal(out.String())
+	}
+}

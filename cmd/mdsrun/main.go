@@ -7,8 +7,14 @@
 //
 //	mdsrun -alg alg1|alg1-local|d2|d2-local|tree|greedy|exact|mvc-alg1|mvc-d2 \
 //	       [-graph ding|cactus|tree|cycle|grid|outerplanar|cliquependants|gnp] \
-//	       [-in graph.json] [-n N] [-t T] [-seed S] [-p P] [-r1 R] [-r2 R] \
+//	       [-in graph|-] [-format auto|json|edgelist|dimacs] \
+//	       [-n N] [-t T] [-seed S] [-p P] [-r1 R] [-r2 R] \
 //	       [-stages] [-dot out.dot]
+//
+// -in loads the instance from a file ("-" for stdin) instead of
+// generating it; the encoding — the repository JSON, a plain edge list,
+// or DIMACS — is auto-detected unless -format pins it. Malformed input
+// exits 1 with a line/column message.
 //
 // With -alg alg1 (the staged CSR pipeline), -stages additionally prints the
 // per-stage wall-time/allocation/size table recorded in
@@ -26,6 +32,7 @@ import (
 	"localmds/internal/core"
 	"localmds/internal/gen"
 	"localmds/internal/graph"
+	"localmds/internal/graphio"
 	"localmds/internal/local"
 	"localmds/internal/mds"
 )
@@ -41,7 +48,8 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mdsrun", flag.ContinueOnError)
 	alg := fs.String("alg", "alg1", "algorithm: alg1|alg1-local|d2|d2-local|tree|greedy|exact|mvc-alg1|mvc-d2")
 	kind := fs.String("graph", "ding", "generator: "+gen.Kinds)
-	in := fs.String("in", "", "load graph from JSON instead of generating")
+	in := fs.String("in", "", "load the graph from this file (\"-\": stdin) instead of generating")
+	format := fs.String("format", "auto", "input encoding for -in: auto|json|edgelist|dimacs")
 	n := fs.Int("n", 60, "target size for generated graphs")
 	tParam := fs.Int("t", 5, "K_{2,t} parameter for the ding generator")
 	seed := fs.Int64("seed", 1, "generator seed")
@@ -74,7 +82,7 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-stages requires -alg alg1 (the staged pipeline), got -alg %s", *alg)
 	}
 
-	g, err := loadGraph(*in, *kind, *n, *tParam, *p, *seed)
+	g, err := loadGraph(*in, *format, *kind, *n, *tParam, *p, *seed)
 	if err != nil {
 		return err
 	}
@@ -130,18 +138,18 @@ func optimum(g *graph.Graph, isMVC bool) (int, error) {
 	return len(sol), err
 }
 
-// loadGraph reads the instance from JSON or generates it via the shared
-// gen.FromKind dispatch (which converts generator panics into errors).
-func loadGraph(in, kind string, n, tParam int, p float64, seed int64) (*graph.Graph, error) {
-	if in != "" {
-		f, err := os.Open(in)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return graph.ReadJSON(f)
+// loadGraph reads the instance from a file or stdin (JSON, edge list, or
+// DIMACS via internal/graphio) or generates it via the shared gen.FromKind
+// dispatch (which converts generator panics into errors).
+func loadGraph(in, format, kind string, n, tParam int, p float64, seed int64) (*graph.Graph, error) {
+	if in == "" {
+		return gen.FromKind(kind, n, tParam, p, rand.New(rand.NewSource(seed)))
 	}
-	return gen.FromKind(kind, n, tParam, p, rand.New(rand.NewSource(seed)))
+	f, err := graphio.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	return graphio.ReadFile(in, f)
 }
 
 func solve(g *graph.Graph, alg string, p core.Params) ([]int, *local.Stats, core.StageStats, error) {

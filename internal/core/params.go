@@ -53,14 +53,14 @@ func M33(f ControlFunction) int { return f(11) + 4 }
 // components to brute-force).
 type Params struct {
 	// R1 is the local 1-cut radius (paper: m3.2(C_t)).
-	R1 int
+	R1 int `json:"r1"`
 	// R2 is the local 2-cut / interesting-vertex radius (paper:
 	// m3.3(C_t)).
-	R2 int
+	R2 int `json:"r2"`
 	// MaxBruteComponent caps the exact per-component solve; larger
 	// residual components fall back to the greedy solver (reported in the
 	// result). Zero selects DefaultMaxBruteComponent.
-	MaxBruteComponent int
+	MaxBruteComponent int `json:"max_brute_component,omitempty"`
 }
 
 // DefaultMaxBruteComponent bounds the exact brute-force component size.
@@ -88,6 +88,11 @@ func AsdimParams(f ControlFunction) Params {
 func PracticalParams() Params {
 	return Params{R1: 4, R2: 4}
 }
+
+// Normalized returns p with defaults applied, or an error for bad radii.
+// The service layer canonicalizes request params through it so that cache
+// keys treat an explicit default and an omitted field identically.
+func (p Params) Normalized() (Params, error) { return p.normalized() }
 
 // normalized returns p with defaults applied, or an error for bad radii.
 func (p Params) normalized() (Params, error) {

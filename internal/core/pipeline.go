@@ -24,23 +24,25 @@ import (
 // boundaries are explicit so each one records wall time, allocations, and
 // a size statistic into Alg1Result.StageStats.
 
-// StageStat is one pipeline stage's diagnostics.
+// StageStat is one pipeline stage's diagnostics. The JSON form (used by
+// the mdsd service and any result archive) carries Wall as integer
+// nanoseconds under "wall_ns".
 type StageStat struct {
 	// Name is the stage name (TwinReduce, Cuts, Partition, ComponentSolve,
 	// Stitch).
-	Name string
+	Name string `json:"name"`
 	// Wall is the stage's wall-clock duration.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// Allocs is the number of heap objects allocated while the stage ran.
 	// The counter is process-wide (concurrent activity outside the
 	// pipeline inflates it) and approximate: the runtime aggregates
 	// per-core allocation counts lazily, so small allocations may be
 	// attributed to a later stage.
-	Allocs uint64
+	Allocs uint64 `json:"allocs"`
 	// Items is the stage's size statistic, counted in Unit.
-	Items int
+	Items int `json:"items"`
 	// Unit names what Items counts (e.g. "active vertices", "components").
-	Unit string
+	Unit string `json:"unit"`
 }
 
 // StageStats is the per-stage diagnostic trail of one pipeline run.

@@ -1,0 +1,102 @@
+package graphio
+
+import (
+	"bufio"
+	"strconv"
+
+	"localmds/internal/graph"
+)
+
+// readDIMACS parses the DIMACS graph format: 'c' comment lines, a single
+// 'p edge <n> <m>' (or 'p col ...') problem line, then 'e <u> <v>' edge
+// lines with 1-based endpoints in [1, n]. The declared edge count m is
+// advisory (real-world files routinely mis-state it); endpoints are
+// validated strictly. Duplicate edges and self-loops are collapsed by
+// graph.FromEdgesUnchecked. With maxVertices > 0, a declared count beyond
+// the limit fails before any allocation proportional to it.
+func readDIMACS(br *bufio.Reader, maxVertices int) (*graph.Graph, error) {
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var edges [][2]int
+	var toks []token
+	n := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		toks = splitFields(sc.Text(), toks)
+		if len(toks) == 0 {
+			continue
+		}
+		switch toks[0].text {
+		case "c":
+			continue
+		case "p":
+			if n >= 0 {
+				return nil, &ParseError{Line: lineNo, Col: toks[0].col, Msg: "duplicate problem line"}
+			}
+			if len(toks) < 3 {
+				return nil, &ParseError{Line: lineNo, Col: toks[0].col,
+					Msg: "malformed problem line, want \"p edge <vertices> <edges>\""}
+			}
+			v, err := strconv.Atoi(toks[2].text)
+			if err != nil || v < 0 {
+				return nil, &ParseError{Line: lineNo, Col: toks[2].col,
+					Msg: "expected a non-negative vertex count, got " + strconv.Quote(toks[2].text)}
+			}
+			if maxVertices > 0 && v > maxVertices {
+				return nil, &ParseError{Line: lineNo, Col: toks[2].col,
+					Msg: "vertex count " + strconv.Itoa(v) + " exceeds the limit " + strconv.Itoa(maxVertices)}
+			}
+			n = v
+			if len(toks) > 3 {
+				if _, err := strconv.Atoi(toks[3].text); err != nil {
+					return nil, &ParseError{Line: lineNo, Col: toks[3].col,
+						Msg: "expected an edge count, got " + strconv.Quote(toks[3].text)}
+				}
+			}
+		case "e":
+			if n < 0 {
+				return nil, &ParseError{Line: lineNo, Col: toks[0].col,
+					Msg: "edge line before the \"p\" problem line"}
+			}
+			if len(toks) != 3 {
+				return nil, &ParseError{Line: lineNo, Col: toks[0].col,
+					Msg: "expected an edge line \"e <u> <v>\", got " + strconv.Itoa(len(toks)) + " fields"}
+			}
+			u, err := parseDIMACSVertex(toks[1], lineNo, n)
+			if err != nil {
+				return nil, err
+			}
+			v, err := parseDIMACSVertex(toks[2], lineNo, n)
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, [2]int{u - 1, v - 1})
+		default:
+			return nil, &ParseError{Line: lineNo, Col: toks[0].col,
+				Msg: "unknown line type " + strconv.Quote(toks[0].text) + " (want c, p, or e)"}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, &ParseError{Line: lineNo + 1, Msg: "read: " + err.Error()}
+	}
+	if n < 0 {
+		return nil, &ParseError{Line: lineNo + 1, Msg: "missing \"p edge <vertices> <edges>\" problem line"}
+	}
+	return graph.FromEdgesUnchecked(n, edges), nil
+}
+
+// parseDIMACSVertex parses a 1-based endpoint and range-checks it against
+// the declared vertex count.
+func parseDIMACSVertex(t token, line, n int) (int, error) {
+	v, err := strconv.Atoi(t.text)
+	if err != nil || v < 1 {
+		return 0, &ParseError{Line: line, Col: t.col,
+			Msg: "expected a 1-based vertex index, got " + strconv.Quote(t.text)}
+	}
+	if v > n {
+		return 0, &ParseError{Line: line, Col: t.col,
+			Msg: "vertex " + strconv.Itoa(v) + " out of range [1," + strconv.Itoa(n) + "] declared by the problem line"}
+	}
+	return v, nil
+}

@@ -1,0 +1,141 @@
+package graphio
+
+import (
+	"bufio"
+	"strconv"
+
+	"localmds/internal/graph"
+)
+
+// token is one whitespace-delimited field with its 1-based starting column.
+type token struct {
+	text string
+	col  int
+}
+
+// splitFields tokenizes a line, recording each token's starting column.
+func splitFields(line string, toks []token) []token {
+	toks = toks[:0]
+	start := -1
+	for i := 0; i <= len(line); i++ {
+		var space bool
+		if i == len(line) {
+			space = true
+		} else {
+			c := line[i]
+			space = c == ' ' || c == '\t' || c == '\r'
+		}
+		switch {
+		case space && start >= 0:
+			toks = append(toks, token{text: line[start:i], col: start + 1})
+			start = -1
+		case !space && start < 0:
+			start = i
+		}
+	}
+	return toks
+}
+
+// parseVertex parses a non-negative vertex index.
+func parseVertex(t token, line int) (int, error) {
+	v, err := strconv.Atoi(t.text)
+	if err != nil || v < 0 {
+		return 0, &ParseError{Line: line, Col: t.col, Msg: "expected a non-negative vertex index, got " + strconv.Quote(t.text)}
+	}
+	return v, nil
+}
+
+// readEdgeList parses the plain edge-list format: one "u v" pair per line,
+// 0-based endpoints, '#'/'%' comments (whole-line or trailing), blank lines
+// ignored. An optional first data line holding a single integer declares
+// the vertex count; otherwise n = 1 + max endpoint. Self-loops and
+// duplicate edges are collapsed by graph.FromEdgesUnchecked, matching its
+// tolerant batch-build contract. With maxVertices > 0, a declared count or
+// endpoint beyond the limit fails before any allocation proportional to it.
+func readEdgeList(br *bufio.Reader, maxVertices int) (*graph.Graph, error) {
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var edges [][2]int
+	var toks []token
+	n := -1 // declared vertex count, if any
+	maxV := -1
+	lineNo := 0
+	sawData := false
+	for sc.Scan() {
+		lineNo++
+		line := stripComment(sc.Text())
+		toks = splitFields(line, toks)
+		if len(toks) == 0 {
+			continue
+		}
+		if !sawData && len(toks) == 1 {
+			// Header line: explicit vertex count.
+			v, err := parseVertex(toks[0], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if maxVertices > 0 && v > maxVertices {
+				return nil, &ParseError{Line: lineNo, Col: toks[0].col,
+					Msg: "vertex count " + strconv.Itoa(v) + " exceeds the limit " + strconv.Itoa(maxVertices)}
+			}
+			n = v
+			sawData = true
+			continue
+		}
+		sawData = true
+		if len(toks) != 2 {
+			return nil, &ParseError{Line: lineNo, Col: toks[0].col,
+				Msg: "expected an edge as two vertex indices \"u v\", got " + strconv.Itoa(len(toks)) + " fields"}
+		}
+		u, err := parseVertex(toks[0], lineNo)
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseVertex(toks[1], lineNo)
+		if err != nil {
+			return nil, err
+		}
+		if maxVertices > 0 {
+			for i, x := range []int{u, v} {
+				if x >= maxVertices {
+					return nil, &ParseError{Line: lineNo, Col: toks[i].col,
+						Msg: "vertex " + strconv.Itoa(x) + " exceeds the limit of " + strconv.Itoa(maxVertices) + " vertices"}
+				}
+			}
+		}
+		if n >= 0 {
+			if u >= n {
+				return nil, &ParseError{Line: lineNo, Col: toks[0].col,
+					Msg: "vertex " + strconv.Itoa(u) + " out of range [0," + strconv.Itoa(n) + ") declared by the header line"}
+			}
+			if v >= n {
+				return nil, &ParseError{Line: lineNo, Col: toks[1].col,
+					Msg: "vertex " + strconv.Itoa(v) + " out of range [0," + strconv.Itoa(n) + ") declared by the header line"}
+			}
+		}
+		if u > maxV {
+			maxV = u
+		}
+		if v > maxV {
+			maxV = v
+		}
+		edges = append(edges, [2]int{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, &ParseError{Line: lineNo + 1, Msg: "read: " + err.Error()}
+	}
+	if n < 0 {
+		n = maxV + 1
+	}
+	return graph.FromEdgesUnchecked(n, edges), nil
+}
+
+// stripComment drops a trailing '#' or '%' comment.
+func stripComment(line string) string {
+	for i := 0; i < len(line); i++ {
+		if line[i] == '#' || line[i] == '%' {
+			return line[:i]
+		}
+	}
+	return line
+}

@@ -1,0 +1,194 @@
+// Package graphio reads and writes graphs in the interchange formats the
+// CLIs and the mdsd service accept: the repository's JSON encoding
+// ({"n": ..., "edges": [[u,v], ...]}), plain whitespace-separated edge
+// lists, and DIMACS. The text parsers are streaming — they scan the input
+// line by line and batch-build the graph through
+// graph.FromEdgesUnchecked — and every malformed input is reported as a
+// *ParseError carrying the 1-based line and column of the offending token,
+// never as a panic.
+package graphio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"localmds/internal/graph"
+)
+
+// Format identifies one of the supported graph encodings.
+type Format int
+
+const (
+	// FormatAuto sniffs the format from the first non-blank byte of the
+	// input: '{' is JSON, 'c' or 'p' is DIMACS, anything else is tried as
+	// a plain edge list.
+	FormatAuto Format = iota
+	// FormatJSON is the repository encoding {"n": ..., "edges": [...]}.
+	FormatJSON
+	// FormatEdgeList is a plain text edge list: one "u v" pair per line,
+	// 0-based endpoints, '#' or '%' comments. An optional first data line
+	// holding a single integer fixes the vertex count (allowing trailing
+	// isolated vertices); otherwise n is 1 + the largest endpoint.
+	FormatEdgeList
+	// FormatDIMACS is the DIMACS graph format: 'c' comment lines, one
+	// 'p edge <n> <m>' problem line, then 'e <u> <v>' edge lines with
+	// 1-based endpoints.
+	FormatDIMACS
+)
+
+// ParseFormat maps a user-facing format name to a Format.
+func ParseFormat(name string) (Format, error) {
+	switch strings.ToLower(name) {
+	case "", "auto":
+		return FormatAuto, nil
+	case "json":
+		return FormatJSON, nil
+	case "edgelist", "edges", "el":
+		return FormatEdgeList, nil
+	case "dimacs":
+		return FormatDIMACS, nil
+	}
+	return FormatAuto, fmt.Errorf("graphio: unknown format %q (want auto|json|edgelist|dimacs)", name)
+}
+
+// String returns the canonical format name.
+func (f Format) String() string {
+	switch f {
+	case FormatJSON:
+		return "json"
+	case FormatEdgeList:
+		return "edgelist"
+	case FormatDIMACS:
+		return "dimacs"
+	default:
+		return "auto"
+	}
+}
+
+// ParseError locates a syntax or validation error in a text input.
+type ParseError struct {
+	// Line and Col are 1-based; Col points at the first byte of the
+	// offending token (0 when the error concerns the whole line).
+	Line, Col int
+	// Msg describes the problem.
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("line %d, column %d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// Read parses a graph from r in the given format, with no vertex-count
+// limit. With FormatAuto it sniffs the encoding first (see Detect).
+// Text-format errors are *ParseError values with line/column positions.
+func Read(r io.Reader, f Format) (*graph.Graph, error) {
+	return ReadLimited(r, f, 0)
+}
+
+// ReadLimited is Read bounded by maxVertices (0 = unlimited): an input
+// declaring or implying more vertices is rejected before anything
+// proportional to the count is allocated. Services parsing untrusted
+// payloads must use it — a 40-byte body can otherwise declare a
+// multi-gigabyte vertex count.
+func ReadLimited(r io.Reader, f Format, maxVertices int) (*graph.Graph, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	if f == FormatAuto {
+		var err error
+		f, err = detectReader(br)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch f {
+	case FormatJSON:
+		return readJSON(br, maxVertices)
+	case FormatEdgeList:
+		return readEdgeList(br, maxVertices)
+	case FormatDIMACS:
+		return readDIMACS(br, maxVertices)
+	}
+	return nil, fmt.Errorf("graphio: unsupported format %v", f)
+}
+
+// ReadFile reads a graph from path ("-" reads stdin) in the given
+// format, prefixing errors with the input name — the shared loader
+// behind the CLIs' -in flags.
+func ReadFile(path string, f Format) (*graph.Graph, error) {
+	r := io.Reader(os.Stdin)
+	name := "stdin"
+	if path != "-" {
+		file, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer file.Close()
+		r, name = file, path
+	}
+	g, err := Read(r, f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return g, nil
+}
+
+// readJSON decodes the repository encoding {"n": ..., "edges": [...]},
+// enforcing the vertex limit before the graph (whose adjacency storage
+// is proportional to n) is built. Validation matches graph.ReadJSON:
+// duplicate edges, self-loops, and out-of-range endpoints are rejected.
+func readJSON(br *bufio.Reader, maxVertices int) (*graph.Graph, error) {
+	var jg struct {
+		N     int      `json:"n"`
+		Edges [][2]int `json:"edges"`
+	}
+	if err := json.NewDecoder(br).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("graphio: json: %w", err)
+	}
+	if jg.N < 0 {
+		return nil, fmt.Errorf("graphio: json: negative vertex count %d", jg.N)
+	}
+	if maxVertices > 0 && jg.N > maxVertices {
+		return nil, fmt.Errorf("graphio: json: vertex count %d exceeds the limit %d", jg.N, maxVertices)
+	}
+	g, err := graph.FromEdges(jg.N, jg.Edges)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: json: %w", err)
+	}
+	return g, nil
+}
+
+// Detect sniffs the format from the first non-blank byte of a prefix of
+// the input: '{' is JSON, 'c' or 'p' is DIMACS, digits and comment
+// markers ('#', '%') are an edge list.
+func Detect(prefix []byte) (Format, error) {
+	for _, b := range prefix {
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			continue
+		case b == '{':
+			return FormatJSON, nil
+		case b == 'c' || b == 'p':
+			return FormatDIMACS, nil
+		case b >= '0' && b <= '9', b == '#', b == '%':
+			return FormatEdgeList, nil
+		default:
+			return FormatAuto, fmt.Errorf("graphio: cannot detect format from leading byte %q (want JSON '{', DIMACS 'c'/'p', or an edge list)", b)
+		}
+	}
+	return FormatAuto, fmt.Errorf("graphio: cannot detect format of empty input")
+}
+
+// detectReader peeks into br without consuming it.
+func detectReader(br *bufio.Reader) (Format, error) {
+	prefix, err := br.Peek(512)
+	if err != nil && err != io.EOF {
+		return FormatAuto, fmt.Errorf("graphio: detect: %w", err)
+	}
+	return Detect(prefix)
+}

@@ -13,10 +13,12 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"localmds/internal/experiments"
 )
@@ -31,6 +33,11 @@ type Options struct {
 	Replicates int
 	// RootSeed is the root of the per-task seed derivation tree.
 	RootSeed int64
+	// TaskTimeout bounds each task execution (0 = unbounded): a task that
+	// exceeds it fails the sweep with an ErrTimeout-wrapped error instead
+	// of stalling it. The abandoned computation finishes in the
+	// background; see WithTimeout.
+	TaskTimeout time.Duration
 }
 
 // Runner executes experiment specs on a worker pool with a persistent
@@ -68,6 +75,14 @@ type job struct {
 // pool and assembles one table per spec, in declaration order. The result
 // is byte-identical for a fixed RootSeed regardless of Workers.
 func (r *Runner) Run(specs []experiments.Spec) ([]*experiments.Table, error) {
+	return r.RunContext(context.Background(), specs)
+}
+
+// RunContext is Run bounded by ctx: cancellation skips every task not yet
+// started and fails the sweep with the context error. Tasks already
+// running are abandoned per WithTimeout (their computation completes in
+// the background, results discarded).
+func (r *Runner) RunContext(ctx context.Context, specs []experiments.Spec) ([]*experiments.Table, error) {
 	var jobs []job
 	for si, s := range specs {
 		for ti, task := range s.Tasks {
@@ -82,42 +97,44 @@ func (r *Runner) Run(specs []experiments.Spec) ([]*experiments.Table, error) {
 
 	results := make([][][]string, len(jobs))
 	errs := make([]error, len(jobs))
-	idxCh := make(chan int)
 	var failed atomic.Bool // once set, remaining jobs are skipped: the sweep is doomed
+	pool := NewPool(r.opts.Workers, 0)
 	var wg sync.WaitGroup
-	for w := 0; w < r.opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range idxCh {
-				if failed.Load() {
-					continue
-				}
-				j := jobs[idx]
-				spec := specs[j.spec]
-				task := spec.Tasks[j.task]
-				key := cacheKey(spec.Name, task.Row, j.seed, task.Params)
-				if rows, ok := r.cache.get(key); ok {
-					results[idx] = rows
-					continue
-				}
-				rows, err := task.Run(j.seed)
-				if err != nil {
-					errs[idx] = fmt.Errorf("%s/%s (replicate %d, seed %d): %w",
-						spec.Name, task.Row, j.rep, j.seed, err)
-					failed.Store(true)
-					continue
-				}
-				r.cache.put(key, rows)
-				results[idx] = rows
-			}
-		}()
-	}
 	for idx := range jobs {
-		idxCh <- idx
+		wg.Add(1)
+		pool.Submit(func() {
+			defer wg.Done()
+			if failed.Load() {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				errs[idx] = err
+				failed.Store(true)
+				return
+			}
+			j := jobs[idx]
+			spec := specs[j.spec]
+			task := spec.Tasks[j.task]
+			key := cacheKey(spec.Name, task.Row, j.seed, task.Params)
+			if rows, ok := r.cache.get(key); ok {
+				results[idx] = rows
+				return
+			}
+			rows, err := WithTimeout(ctx, r.opts.TaskTimeout, func() ([][]string, error) {
+				return task.Run(j.seed)
+			})
+			if err != nil {
+				errs[idx] = fmt.Errorf("%s/%s (replicate %d, seed %d): %w",
+					spec.Name, task.Row, j.rep, j.seed, err)
+				failed.Store(true)
+				return
+			}
+			r.cache.put(key, rows)
+			results[idx] = rows
+		})
 	}
-	close(idxCh)
 	wg.Wait()
+	pool.Close()
 
 	// Report the first error in job order, not completion order. (With
 	// several near-simultaneous failures the abort flag may let different

@@ -1,0 +1,49 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// ErrTimeout wraps every deadline failure produced by WithTimeout so
+// callers can classify it with errors.Is.
+var ErrTimeout = fmt.Errorf("task timed out")
+
+// WithTimeout runs fn, bounding it by the timeout (when > 0) and by ctx.
+// When neither bound exists fn runs inline; otherwise it runs on its own
+// goroutine and WithTimeout returns early with an error if the bound
+// trips first. An abandoned fn keeps running to completion in the
+// background — its result is discarded — so one pathological task can
+// never stall the sweep or the daemon's queue, at the cost of its
+// goroutine until it finishes. fn must therefore not hold locks the
+// caller needs.
+func WithTimeout[T any](ctx context.Context, timeout time.Duration, fn func() (T, error)) (T, error) {
+	if timeout <= 0 && ctx.Done() == nil {
+		return fn()
+	}
+	type outcome struct {
+		val T
+		err error
+	}
+	ch := make(chan outcome, 1) // buffered: the abandoned goroutine must not leak forever on send
+	go func() {
+		val, err := fn()
+		ch <- outcome{val, err}
+	}()
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	var zero T
+	select {
+	case o := <-ch:
+		return o.val, o.err
+	case <-deadline:
+		return zero, fmt.Errorf("%w after %v", ErrTimeout, timeout)
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	}
+}

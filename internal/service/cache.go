@@ -1,0 +1,93 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+
+	"localmds/internal/core"
+	"localmds/internal/graph"
+	"sync"
+)
+
+// solveKey content-addresses one solve: the canonical fingerprint of the
+// frozen CSR plus the normalized solver params. Two requests with equal
+// keys are interchangeable — whatever client, wire format, or edge order
+// they arrived with.
+type solveKey struct {
+	fp     graph.Fingerprint
+	params string
+}
+
+// newSolveKey builds the cache key from a frozen graph and normalized
+// params.
+func newSolveKey(csr *graph.CSR, p core.Params) solveKey {
+	return solveKey{
+		fp:     csr.Fingerprint(),
+		params: fmt.Sprintf("r1=%d,r2=%d,mbc=%d", p.R1, p.R2, p.MaxBruteComponent),
+	}
+}
+
+// resultCache is the content-addressed LRU over completed solves.
+// Entries are treated as immutable by every reader (handlers only
+// serialize them); eviction is strict LRU at the configured capacity.
+// Hit/miss accounting lives in Server.submit, not here: only the
+// request router can tell a genuine miss (leader, will recompute) from
+// a deduplicated join onto an in-flight job.
+type resultCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[solveKey]*list.Element
+	evictions int64
+}
+
+type cacheEntry struct {
+	key solveKey
+	res *SolveOutcome
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[solveKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached outcome for key, refreshing its recency.
+func (c *resultCache) get(key solveKey) (*SolveOutcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores the outcome for key, evicting the least recently used entry
+// beyond capacity. Storing an existing key refreshes it.
+func (c *resultCache) put(key solveKey, res *SolveOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats returns the eviction counter and the current entry count.
+func (c *resultCache) stats() (evictions int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions, c.ll.Len()
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"localmds/internal/core"
+	"localmds/internal/gen"
+	"localmds/internal/graph"
+)
+
+func keyFor(t *testing.T, n int) solveKey {
+	t.Helper()
+	p, err := core.PracticalParams().Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newSolveKey(gen.Path(n).Freeze(), p)
+}
+
+func TestCacheHitMissEviction(t *testing.T) {
+	c := newResultCache(3)
+	keys := make([]solveKey, 6)
+	for i := range keys {
+		keys[i] = keyFor(t, i+2)
+	}
+	for i, k := range keys[:3] {
+		c.put(k, &SolveOutcome{N: i})
+	}
+	if _, ok := c.get(keys[0]); !ok {
+		t.Fatal("expected hit on keys[0]")
+	}
+	// keys[1] is now LRU; inserting a 4th evicts it.
+	c.put(keys[3], &SolveOutcome{N: 3})
+	if _, ok := c.get(keys[1]); ok {
+		t.Fatal("keys[1] should have been evicted (LRU)")
+	}
+	if _, ok := c.get(keys[0]); !ok {
+		t.Fatal("keys[0] was refreshed and must survive")
+	}
+	evictions, entries := c.stats()
+	if entries != 3 || evictions != 1 {
+		t.Fatalf("entries=%d evictions=%d, want 3 and 1", entries, evictions)
+	}
+	// Re-putting an existing key refreshes, never duplicates.
+	c.put(keys[0], &SolveOutcome{N: 99})
+	if out, ok := c.get(keys[0]); !ok || out.N != 99 {
+		t.Fatalf("refresh put: got %+v, %v", out, ok)
+	}
+	if _, entries := c.stats(); entries != 3 {
+		t.Fatalf("entries=%d after refresh, want 3", entries)
+	}
+}
+
+// TestCacheConcurrent hammers one small cache from many goroutines with
+// overlapping keys so gets, puts, refreshes, and evictions interleave;
+// run under -race in CI.
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(8)
+	keys := make([]solveKey, 24)
+	for i := range keys {
+		keys[i] = keyFor(t, i+2)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 200; round++ {
+				k := keys[(round*7+w*5)%len(keys)]
+				if out, ok := c.get(k); ok {
+					_ = out.N // entries are immutable; read only
+				} else {
+					c.put(k, &SolveOutcome{N: round})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	evictions, entries := c.stats()
+	if entries > 8 {
+		t.Fatalf("entries=%d exceeds capacity 8", entries)
+	}
+	if evictions == 0 {
+		t.Fatal("expected evictions with 24 keys and capacity 8")
+	}
+}
+
+// TestSolveKeyStability: the cache key must not depend on how the graph
+// arrived — permuted edge presentations of the same labeled graph, or the
+// same params spelled with and without explicit defaults, produce equal
+// keys; different graphs or radii produce different ones.
+func TestSolveKeyStability(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}}
+	perm := [][2]int{{3, 1}, {0, 3}, {2, 1}, {1, 0}, {3, 2}}
+	p1, _ := core.Params{R1: 4, R2: 4}.Normalized()
+	p2, _ := core.Params{R1: 4, R2: 4, MaxBruteComponent: core.DefaultMaxBruteComponent}.Normalized()
+	k1 := newSolveKey(graph.FromEdgesUnchecked(4, edges).Freeze(), p1)
+	k2 := newSolveKey(graph.FromEdgesUnchecked(4, perm).Freeze(), p2)
+	if k1 != k2 {
+		t.Fatalf("keys differ across presentation/params spelling:\n%v\n%v", k1, k2)
+	}
+	k3 := newSolveKey(graph.FromEdgesUnchecked(4, edges[:4]).Freeze(), p1)
+	if k1 == k3 {
+		t.Fatal("different graphs must not collide")
+	}
+	p3, _ := core.Params{R1: 5, R2: 4}.Normalized()
+	k4 := newSolveKey(graph.FromEdgesUnchecked(4, edges).Freeze(), p3)
+	if k1 == k4 {
+		t.Fatal("different params must not collide")
+	}
+	if fmt.Sprint(k1) == "" {
+		t.Fatal("unprintable key")
+	}
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"localmds/internal/runner"
+)
+
+// maxBodyBytes bounds request bodies (graph payloads included).
+const maxBodyBytes = 64 << 20
+
+// maxBatchSize bounds one /v1/batch submission; it must stay well below
+// the jobStore retention floor so freshly returned job IDs cannot have
+// been evicted already.
+const maxBatchSize = 256
+
+// handleSolve is POST /v1/solve: parse, enqueue (or hit the cache /
+// join an identical in-flight job), wait, respond with the full result.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decode request: " + err.Error()})
+		return
+	}
+	ps, err := parseSolve(&req)
+	if err != nil {
+		status := http.StatusInternalServerError
+		var bad *badRequestError
+		if errors.As(err, &bad) {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	j, queueFull := s.submit(ps)
+	if queueFull {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: j.view().Error})
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		// Client gave up; the job keeps running and remains pollable.
+		writeJSON(w, http.StatusRequestTimeout, j.view())
+		return
+	}
+	v := j.view()
+	switch {
+	case v.Status == StatusDone:
+		writeJSON(w, http.StatusOK, v)
+	case errors.Is(jobErr(j), runner.ErrTimeout):
+		writeJSON(w, http.StatusGatewayTimeout, v)
+	case errors.Is(jobErr(j), errQueueFull):
+		// Deduplicated followers of a shed leader land here: load
+		// shedding is 503 for every waiter, not a server fault.
+		writeJSON(w, http.StatusServiceUnavailable, v)
+	default:
+		writeJSON(w, http.StatusInternalServerError, v)
+	}
+}
+
+// jobErr reads the job's terminal error.
+func jobErr(j *Job) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Requests []SolveRequest `json:"requests"`
+}
+
+// BatchEntry reports one enqueued batch element.
+type BatchEntry struct {
+	JobID  string `json:"job_id,omitempty"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleBatch is POST /v1/batch: enqueue every element, return job IDs
+// immediately; clients poll GET /v1/jobs/{id}. Malformed elements and
+// queue-full rejections fail individually without failing the batch.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "decode request: " + err.Error()})
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "empty batch"})
+		return
+	}
+	if len(req.Requests) > maxBatchSize {
+		// The cap (far below the job-retention floor) guarantees every
+		// job ID in the response is still resolvable via /v1/jobs/{id}
+		// once the client reads it.
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorBody{Error: fmt.Sprintf("batch of %d exceeds the maximum of %d requests", len(req.Requests), maxBatchSize)})
+		return
+	}
+	entries := make([]BatchEntry, len(req.Requests))
+	for i := range req.Requests {
+		ps, err := parseSolve(&req.Requests[i])
+		if err != nil {
+			entries[i] = BatchEntry{Status: StatusFailed, Error: err.Error()}
+			continue
+		}
+		j, _ := s.submit(ps) // queue-full jobs come back already failed
+		v := j.view()
+		entries[i] = BatchEntry{JobID: j.ID, Status: v.Status, Error: v.Error}
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"jobs": entries})
+}
+
+// handleJob is GET /v1/jobs/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	_, entries := s.cache.stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptime_s":      time.Since(s.started).Seconds(),
+		"queue_depth":   s.pool.Pending(),
+		"workers":       s.pool.Workers(),
+		"cache_entries": entries,
+		"cache_hits":    s.cacheHits.Load(),
+		"cache_misses":  s.cacheMisses.Load(),
+	})
+}
+
+// handleMetrics is GET /metrics (Prometheus text exposition).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(s.renderMetrics()))
+}

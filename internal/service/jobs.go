@@ -1,0 +1,200 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"localmds/internal/core"
+)
+
+// Job statuses, in lifecycle order.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// SolveOutcome is the immutable, cacheable payload of a finished solve.
+type SolveOutcome struct {
+	Fingerprint string           `json:"fingerprint"`
+	N           int              `json:"n"`
+	M           int              `json:"m"`
+	Params      core.Params      `json:"params"`
+	Valid       bool             `json:"valid"`
+	Result      *core.Alg1Result `json:"result"`
+}
+
+// Job tracks one solve through the queue. Mutable state is guarded by mu;
+// done closes when the job reaches a terminal status.
+type Job struct {
+	ID string
+
+	mu       sync.Mutex
+	status   string
+	source   string
+	cached   bool
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	outcome  *SolveOutcome
+	err      error
+	done     chan struct{}
+}
+
+// JobView is the JSON snapshot served by GET /v1/jobs/{id} and embedded
+// in solve responses.
+type JobView struct {
+	ID            string     `json:"job_id"`
+	Status        string     `json:"status"`
+	Source        string     `json:"source,omitempty"`
+	Cached        bool       `json:"cached"`
+	Created       time.Time  `json:"created"`
+	Started       *time.Time `json:"started,omitempty"`
+	Finished      *time.Time `json:"finished,omitempty"`
+	Error         string     `json:"error,omitempty"`
+	*SolveOutcome            // flattened when done
+}
+
+// view snapshots the job under its lock.
+func (j *Job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:      j.ID,
+		Status:  j.status,
+		Source:  j.source,
+		Cached:  j.cached,
+		Created: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if j.status == StatusDone {
+		v.SolveOutcome = j.outcome
+	}
+	return v
+}
+
+// Done returns the channel closed when the job finishes.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) markRunning() {
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(out *SolveOutcome, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.status = StatusFailed
+		j.err = err
+	} else {
+		j.status = StatusDone
+		j.outcome = out
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// jobStore is the in-memory job registry. Jobs are kept until the store's
+// retention cap, evicting the oldest finished jobs first so /v1/jobs/{id}
+// stays answerable for recent work without growing without bound.
+type jobStore struct {
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // insertion order, for retention eviction
+	seq    int64
+	keep   int
+	counts map[string]int64 // terminal status tallies, for /metrics
+}
+
+func newJobStore(keep int) *jobStore {
+	return &jobStore{
+		jobs:   make(map[string]*Job),
+		keep:   keep,
+		counts: map[string]int64{},
+	}
+}
+
+// create registers a new queued job.
+func (s *jobStore) create(source string, cached bool) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%06d", s.seq),
+		status:  StatusQueued,
+		source:  source,
+		cached:  cached,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention cap.
+func (s *jobStore) evictLocked() {
+	if len(s.jobs) <= s.keep {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		if len(s.jobs) > s.keep {
+			j.mu.Lock()
+			terminal := j.status == StatusDone || j.status == StatusFailed
+			j.mu.Unlock()
+			if terminal {
+				delete(s.jobs, id)
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// get looks a job up by ID.
+func (s *jobStore) get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// recordTerminal tallies a finished job for /metrics.
+func (s *jobStore) recordTerminal(status string) {
+	s.mu.Lock()
+	s.counts[status]++
+	s.mu.Unlock()
+}
+
+// terminalCounts snapshots the status tallies.
+func (s *jobStore) terminalCounts() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counts))
+	for k, v := range s.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+// Package service is the long-running solve layer over the repository's
+// library internals: an HTTP/JSON daemon (cmd/mdsd) that accepts solve
+// requests — an inline graph, a text payload in any graphio format, or a
+// generator spec, plus Algorithm 1 params — runs them on a bounded job
+// queue built from the internal/runner worker-pool machinery, and serves
+// results with the per-stage diagnostics of the staged CSR pipeline.
+//
+// Identical work is never recomputed: every request is content-addressed
+// by graph.Fingerprint over its frozen CSR plus the normalized params, an
+// LRU cache serves repeats, and concurrent identical requests are
+// deduplicated onto one in-flight job.
+//
+// Endpoints:
+//
+//	POST /v1/solve    — synchronous solve (enqueue + wait)
+//	POST /v1/batch    — enqueue many, return job IDs immediately
+//	GET  /v1/jobs/{id} — job status: queued/running/done with stage table
+//	GET  /healthz     — liveness + queue snapshot
+//	GET  /metrics     — Prometheus text: queue depth, cache hit/miss,
+//	                    per-stage latency totals
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"localmds/internal/core"
+	"localmds/internal/mds"
+	"localmds/internal/runner"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Workers bounds the solver pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds jobs waiting beyond the running ones; when the
+	// queue is full, solves are shed with HTTP 503 and batch entries fail.
+	// <= 0 selects 64.
+	QueueDepth int
+	// CacheEntries caps the content-addressed result cache; <= 0 selects
+	// 256.
+	CacheEntries int
+	// JobTimeout bounds each solve (0 = unbounded); a job that exceeds it
+	// fails with HTTP 504 semantics instead of stalling the queue.
+	JobTimeout time.Duration
+	// PipelineWorkers bounds each solve's ComponentSolve fan-out; the
+	// default 1 keeps one request on one core so concurrent requests
+	// scale by request, not within one.
+	PipelineWorkers int
+	// JobRetention caps remembered finished jobs; <= 0 selects 1024.
+	JobRetention int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.PipelineWorkers <= 0 {
+		c.PipelineWorkers = 1
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 1024
+	}
+	return c
+}
+
+// Server is the solve service. Create with New, expose via Handler, stop
+// with Drain (graceful) or Close (abort).
+type Server struct {
+	cfg      Config
+	pool     *runner.Pool
+	cache    *resultCache
+	jobs     *jobStore
+	stages   *stageTotals
+	started  time.Time
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	inflight *inflightMap
+
+	// Cache effectiveness counters. They live here rather than in
+	// resultCache because only the request router can classify a lookup:
+	// a hit serves the stored result, a miss becomes the leader of a
+	// recompute, and a dedup joins an identical in-flight job (neither
+	// hit nor recompute).
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	cacheDedups atomic.Int64
+
+	// solve runs one pipeline execution; tests stub it to exercise queue
+	// shedding, timeouts, and drain deterministically.
+	solve func(ps *parsedSolve) (*core.Alg1Result, error)
+}
+
+// errQueueFull marks load-shed jobs so every waiter — the leader and any
+// deduplicated followers — maps the failure to HTTP 503.
+var errQueueFull = errors.New("queue full")
+
+// New starts a Server's worker pool and returns it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		pool:     runner.NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:    newResultCache(cfg.CacheEntries),
+		jobs:     newJobStore(cfg.JobRetention),
+		stages:   newStageTotals(),
+		started:  time.Now(),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		inflight: newInflightMap(),
+	}
+	s.solve = func(ps *parsedSolve) (*core.Alg1Result, error) {
+		return core.Alg1Pipeline(ps.g, ps.params, core.PipelineOptions{Workers: s.cfg.PipelineWorkers})
+	}
+	return s
+}
+
+// Drain stops accepting work and blocks until every accepted job has
+// finished — the SIGTERM path. The HTTP listener must already be closed
+// (or shutting down) so no new submissions race the drain.
+func (s *Server) Drain() { s.pool.Close() }
+
+// Close aborts in-flight jobs via context cancellation, then drains.
+func (s *Server) Close() {
+	s.cancel()
+	s.pool.Close()
+}
+
+// Computations returns the number of pipeline executions the server has
+// performed; cache hits and deduplicated waiters do not advance it.
+// Tests assert on it to prove a cache hit skips recompute.
+func (s *Server) Computations() int64 { return s.stages.Computations() }
+
+// submit routes one parsed solve: cache hit → immediately-done job;
+// identical in-flight request → join its job; otherwise a fresh job on
+// the queue. queueFull is reported when the pool sheds the job.
+func (s *Server) submit(ps *parsedSolve) (j *Job, queueFull bool) {
+	if out, ok := s.cache.get(ps.key); ok {
+		s.cacheHits.Add(1)
+		j := s.jobs.create(ps.source, true)
+		j.finish(out, nil)
+		s.jobs.recordTerminal(StatusDone)
+		return j, false
+	}
+	// Deduplicate concurrent identical requests onto one in-flight job.
+	j, leader := s.inflight.join(ps.key, func() *Job { return s.jobs.create(ps.source, false) })
+	if !leader {
+		s.cacheDedups.Add(1)
+		return j, false
+	}
+	s.cacheMisses.Add(1)
+	accepted := s.pool.TrySubmit(func() {
+		defer s.inflight.leave(ps.key)
+		s.runJob(j, ps)
+	})
+	if !accepted {
+		s.inflight.leave(ps.key)
+		j.finish(nil, fmt.Errorf("%w (%d jobs pending)", errQueueFull, s.pool.Pending()))
+		s.jobs.recordTerminal(StatusFailed)
+		return j, true
+	}
+	return j, false
+}
+
+// runJob executes one queued solve on a pool worker.
+func (s *Server) runJob(j *Job, ps *parsedSolve) {
+	j.markRunning()
+	res, err := runner.WithTimeout(s.baseCtx, s.cfg.JobTimeout, func() (*core.Alg1Result, error) {
+		return s.solve(ps)
+	})
+	if err != nil {
+		j.finish(nil, err)
+		s.jobs.recordTerminal(StatusFailed)
+		return
+	}
+	s.stages.record(res.StageStats)
+	out := &SolveOutcome{
+		Fingerprint: ps.key.fp.String(),
+		N:           ps.g.N(),
+		M:           ps.g.M(),
+		Params:      ps.params,
+		Valid:       mds.IsDominatingSetCSR(ps.csr, res.S),
+		Result:      res,
+	}
+	s.cache.put(ps.key, out)
+	j.finish(out, nil)
+	s.jobs.recordTerminal(StatusDone)
+}
+
+// inflightMap deduplicates concurrent identical solves: the first request
+// for a key becomes the leader and runs the job, later ones join it.
+type inflightMap struct {
+	mu   sync.Mutex
+	jobs map[solveKey]*Job
+}
+
+func newInflightMap() *inflightMap {
+	return &inflightMap{jobs: make(map[solveKey]*Job)}
+}
+
+// join returns the in-flight job for key, creating one via mk when absent.
+// leader reports whether the caller created it (and must submit it).
+func (m *inflightMap) join(key solveKey, mk func() *Job) (j *Job, leader bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[key]; ok {
+		return j, false
+	}
+	j = mk()
+	m.jobs[key] = j
+	return j, true
+}
+
+// leave removes key from the in-flight set.
+func (m *inflightMap) leave(key solveKey) {
+	m.mu.Lock()
+	delete(m.jobs, key)
+	m.mu.Unlock()
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
