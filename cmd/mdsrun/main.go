@@ -9,7 +9,13 @@
 //	       [-graph ding|cactus|tree|cycle|grid|outerplanar|cliquependants|gnp] \
 //	       [-in graph|-] [-format auto|json|edgelist|dimacs] \
 //	       [-n N] [-t T] [-seed S] [-p P] [-r1 R] [-r2 R] \
-//	       [-stages] [-dot out.dot]
+//	       [-opt] [-stages] [-dot out.dot]
+//
+// Without -opt, the exact optimum is a best-effort probe: instances under
+// the solver cap get a node-budgeted exact solve, and the "optimum:" line
+// is simply omitted when the probe gives up. With -opt, the optimum is
+// mandatory: the solve runs unbudgeted and an instance beyond the solver
+// cap is a clean one-line error (exit 1).
 //
 // -in loads the instance from a file ("-" for stdin) instead of
 // generating it; the encoding — the repository JSON, a plain edge list,
@@ -56,6 +62,7 @@ func run(args []string, stdout io.Writer) error {
 	p := fs.Float64("p", 0.05, "edge probability (gnp)")
 	r1 := fs.Int("r1", 4, "Algorithm 1 local 1-cut radius")
 	r2 := fs.Int("r2", 4, "Algorithm 1 local 2-cut radius")
+	optFlag := fs.Bool("opt", false, "require the exact optimum and |S|/OPT ratio (error when the instance exceeds the solver cap)")
 	stages := fs.Bool("stages", false, "print the Algorithm 1 pipeline per-stage timing/size table (requires -alg alg1)")
 	dotOut := fs.String("dot", "", "write the graph with the solution highlighted to this DOT file")
 	if err := fs.Parse(args); err != nil {
@@ -110,8 +117,19 @@ func run(args []string, stdout io.Writer) error {
 	if stats != nil {
 		fmt.Fprintf(stdout, "LOCAL rounds: %d, messages: %d\n", stats.Rounds, stats.Messages)
 	}
-	if g.N() <= mds.MaxExactMDSVertices {
-		opt, err := optimum(g, isMVC)
+	if *optFlag {
+		opt, err := optimum(g, isMVC, 0)
+		if err != nil {
+			return fmt.Errorf("-opt: %w", err)
+		}
+		if opt > 0 {
+			fmt.Fprintf(stdout, "optimum: %d, ratio: %.3f\n", opt, float64(len(sol))/float64(opt))
+		}
+	} else if g.N() <= mds.MaxExactMDSVertices {
+		// Best-effort probe: a node budget keeps adversarial instances
+		// under the cap (large grids, sparse random graphs) from stalling
+		// a run that never asked for OPT.
+		opt, err := optimum(g, isMVC, autoOptNodeBudget)
 		if err == nil && opt > 0 {
 			fmt.Fprintf(stdout, "optimum: %d, ratio: %.3f\n", opt, float64(len(sol))/float64(opt))
 		}
@@ -128,13 +146,23 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// optimum computes the exact optimum for ratio reporting.
-func optimum(g *graph.Graph, isMVC bool) (int, error) {
+// autoOptNodeBudget bounds the automatic (non -opt) exact probe. The
+// engine's per-node cost grows roughly quadratically with the instance
+// (the packing bound scans the undominated set), measured at ~18µs/node
+// at the 500-vertex scale — so 100k nodes caps the silent probe at ~2s
+// on the largest cap-admitted instances and far less on typical ones,
+// before the ratio line is dropped. -opt runs unbudgeted.
+const autoOptNodeBudget = 100_000
+
+// optimum computes the exact optimum for ratio reporting. maxNodes > 0
+// bounds the MDS engine's search (the MVC solver has no budget knob; its
+// lower cap keeps it snappy).
+func optimum(g *graph.Graph, isMVC bool, maxNodes int64) (int, error) {
 	if isMVC {
 		sol, err := mds.ExactMVC(g)
 		return len(sol), err
 	}
-	sol, err := mds.ExactMDS(g)
+	sol, err := mds.ExactMDSOpt(g, mds.ExactOptions{MaxNodes: maxNodes})
 	return len(sol), err
 }
 

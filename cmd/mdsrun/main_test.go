@@ -160,3 +160,33 @@ func TestInvalidInputsErrorCleanly(t *testing.T) {
 		}
 	}
 }
+
+// TestRunOptFlag checks that -opt forces the exact optimum: a 9x9 grid
+// (beyond the old solver's practical reach) reports OPT 20, an instance
+// over the solver cap is a clean error naming the cap, and the ratio line
+// appears for approximation algorithms.
+func TestRunOptFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-graph", "grid", "-n", "81", "-alg", "greedy", "-opt"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "optimum: 20, ratio: ") {
+		t.Errorf("-opt output missing exact optimum:\n%s", got)
+	}
+}
+
+func TestRunOptFlagOverCapFailsCleanly(t *testing.T) {
+	var out strings.Builder
+	// -n 900 builds a 30x30 grid: over MaxExactMDSVertices, high treewidth.
+	err := run([]string{"-graph", "grid", "-n", "900", "-alg", "greedy", "-opt"}, &out)
+	if err == nil {
+		t.Fatal("-opt on an over-cap instance should fail")
+	}
+	if !strings.Contains(err.Error(), "capped") {
+		t.Errorf("error should name the solver cap, got: %v", err)
+	}
+	if strings.Contains(out.String(), "optimum:") {
+		t.Errorf("no optimum line expected on failure:\n%s", out.String())
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
 	"localmds/internal/cuts"
@@ -117,9 +116,13 @@ func Alg1Sequential(g *graph.Graph, p Params) (*Alg1Result, error) {
 		localTarget := relabel(target, idx)
 		var chosen []int
 		if len(comp) <= p.MaxBruteComponent {
-			chosen, err = mds.ExactBDominating(sub, localTarget)
+			chosen, err = mds.ExactBDominatingOpt(sub, localTarget, mds.ExactOptions{MaxNodes: BruteNodeBudget})
 			if err != nil {
-				return nil, fmt.Errorf("core: brute-force component: %w", err)
+				// Node budget exhausted (the only reachable error: the
+				// component is under every vertex cap): greedy fallback,
+				// deterministically — node counts are input-determined.
+				res.BruteFallbacks++
+				chosen = greedyBDominating(sub, localTarget)
 			}
 		} else {
 			res.BruteFallbacks++

@@ -276,7 +276,9 @@ func (a *alg1Process) solveComponent() {
 	}
 	var chosen []int
 	if len(members) <= a.p.MaxBruteComponent {
-		sol, err := mds.ExactBDominating(comp, target)
+		// Same budget as the centralized call sites, so the distributed
+		// run falls back on exactly the components they do.
+		sol, err := mds.ExactBDominatingOpt(comp, target, mds.ExactOptions{MaxNodes: BruteNodeBudget})
 		if err == nil {
 			chosen = sol
 		} else {

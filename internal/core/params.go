@@ -63,8 +63,27 @@ type Params struct {
 	MaxBruteComponent int `json:"max_brute_component,omitempty"`
 }
 
-// DefaultMaxBruteComponent bounds the exact brute-force component size.
-const DefaultMaxBruteComponent = 64
+// DefaultMaxBruteComponent bounds the exact brute-force component size
+// (Algorithm 1 step 4, the pipeline's ComponentSolve stage). The bitset
+// engine in internal/mds solves the workloads' structured residual
+// components of this size in milliseconds — the old adjacency-list
+// search forced the previous default of 64 — so more components get
+// their true optimum instead of the greedy fallback. The engine is still
+// exponential in the worst case (a grid-like 121-vertex residual costs
+// ~0.7M nodes ≈ 2s; adversarial inputs are unbounded), which is why
+// every brute call site pairs the cap with BruteNodeBudget.
+const DefaultMaxBruteComponent = 128
+
+// BruteNodeBudget bounds each per-component exact solve in search nodes;
+// on exhaustion the component falls back to the greedy solver (counted
+// in BruteFallbacks) instead of stalling. The budget admits every
+// structured residual the workloads produce (a full 11x11-grid residual,
+// the worst observed, needs ~0.7M nodes) while capping adversarial
+// user-supplied components — the mdsd serving path brute-forces whatever
+// arrives in a request — at a few seconds. Node counts are
+// input-deterministic, so the fallback decision is too, keeping pipeline
+// and sequential Alg1 output-identical.
+const BruteNodeBudget = 1_500_000
 
 // PaperParams returns the radii of Theorem 4.1 for K_{2,t}-minor-free
 // graphs: R1 = m3.2 = 43t+2 and R2 = m3.3 = 73t+4. These are far larger

@@ -312,9 +312,14 @@ func (cs *componentSolver) solve(comp []int32) compOut {
 	var chosen []int
 	if len(comp) <= cs.p.MaxBruteComponent {
 		var err error
-		chosen, err = mds.ExactBDominatingCSR(&cs.sub, target)
+		chosen, err = mds.ExactBDominatingCSROpt(&cs.sub, target, mds.ExactOptions{MaxNodes: BruteNodeBudget})
 		if err != nil {
-			return compOut{err: err}
+			// Budget exhausted (the only reachable error here): greedy
+			// fallback, mirroring the legacy path exactly — node counts
+			// are input-determined, so both sides fall back on the same
+			// components.
+			out.fallback = true
+			chosen = mds.GreedyBDominatingCSR(&cs.sub, target)
 		}
 	} else {
 		out.fallback = true

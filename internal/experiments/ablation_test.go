@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -60,12 +61,26 @@ func TestRoundsVsT(t *testing.T) {
 }
 
 func TestScaling(t *testing.T) {
-	tab, err := Scaling(1, []int{40, 80})
+	tab, err := Scaling(1, []int{40, 500})
 	if err != nil {
 		t.Fatalf("Scaling: %v", err)
 	}
-	if len(tab.Rows) != 2 {
-		t.Errorf("rows = %d", len(tab.Rows))
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (ding + grid per size)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %v has %d cells, header has %d", row, len(row), len(tab.Header))
+		}
+	}
+	// Small rows have an exact OPT; the 22x22 grid is beyond every exact
+	// solver and must degrade to the certified 2-packing bound.
+	small, big := tab.Rows[2], tab.Rows[3]
+	if small[0] != "grid-6x6" || small[3] == "-" {
+		t.Errorf("small grid row should carry exact OPT: %v", small)
+	}
+	if big[0] != "grid-22x22" || big[3] != "-" || !strings.Contains(big[4], "certified") {
+		t.Errorf("oversized grid row should carry the certified opt_lb bound: %v", big)
 	}
 }
 

@@ -10,7 +10,6 @@ package mds
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"localmds/internal/graph"
@@ -113,9 +112,15 @@ func GreedyBDominatingCSR(c *graph.CSR, target []int) []int {
 // ExactBDominatingCSR returns a minimum set S dominating every vertex of
 // target, over the CSR view. The dispatch mirrors ExactBDominating exactly
 // — treewidth-<=2 inputs go to the unbounded DP (through a one-shot bridge
-// graph), the rest to branch and bound capped at MaxExactMDSVertices — so
-// both entry points return identical sets on identical inputs.
+// graph), the rest to the same bitset branch-and-bound engine capped at
+// MaxExactMDSVertices — so both entry points return identical sets on
+// identical inputs.
 func ExactBDominatingCSR(c *graph.CSR, target []int) ([]int, error) {
+	return ExactBDominatingCSROpt(c, target, ExactOptions{})
+}
+
+// ExactBDominatingCSROpt is ExactBDominatingCSR with engine options.
+func ExactBDominatingCSROpt(c *graph.CSR, target []int, opt ExactOptions) ([]int, error) {
 	target = graph.Dedup(target)
 	if len(target) == 0 {
 		return nil, nil
@@ -131,156 +136,8 @@ func ExactBDominatingCSR(c *graph.CSR, target []int) ([]int, error) {
 	if sol, err := exactTW2BDominating(graph.FromCSR(c), required); err == nil {
 		return sol, nil
 	}
-	if n > MaxExactMDSVertices {
-		return nil, fmt.Errorf("mds: graph has %d vertices, exact solver capped at %d", n, MaxExactMDSVertices)
+	if err := checkExactCap(n, opt); err != nil {
+		return nil, err
 	}
-	s := newBnbCSR(c, target)
-	s.search(nil)
-	out := make([]int, len(s.best))
-	for i, v := range s.best {
-		out[i] = int(v)
-	}
-	sort.Ints(out)
-	return out, nil
-}
-
-// bnbCSR is the CSR port of bnbState. It explores the same search tree in
-// the same order (same branching vertex, same candidate ordering, same
-// bounds), but maintains domination counts incrementally instead of
-// recomputing a fresh dominated array at every node.
-type bnbCSR struct {
-	c       *graph.CSR
-	inB     []bool
-	covers  [][]int32 // covers[v]: target vertices dominated by picking v (ascending)
-	cnt     []int32   // cnt[u]: how many chosen vertices dominate target u
-	remain  int       // undominated target count
-	best    []int32
-	bestLen int
-}
-
-func newBnbCSR(c *graph.CSR, target []int) *bnbCSR {
-	n := c.N()
-	inB := make([]bool, n)
-	for _, v := range target {
-		inB[v] = true
-	}
-	// covers rows share one backing buffer: first a counting pass, then a
-	// fill pass. covers[v] enumerates N[v] ∩ target in ascending order,
-	// matching the Ball(v, 1) order of the adjacency-list solver.
-	size := make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		d := int32(0)
-		if inB[v] {
-			d++
-		}
-		for _, u := range c.Row(v) {
-			if inB[u] {
-				d++
-			}
-		}
-		size[v+1] = size[v] + d
-	}
-	buf := make([]int32, size[n])
-	covers := make([][]int32, n)
-	for v := 0; v < n; v++ {
-		row := buf[size[v]:size[v]:size[v+1]]
-		self := int32(v)
-		placed := !inB[v]
-		for _, u := range c.Row(v) {
-			if !placed && self < u {
-				row = append(row, self)
-				placed = true
-			}
-			if inB[u] {
-				row = append(row, u)
-			}
-		}
-		if !placed {
-			row = append(row, self)
-		}
-		covers[v] = row
-	}
-	s := &bnbCSR{c: c, inB: inB, covers: covers, cnt: make([]int32, n)}
-	greedy := GreedyBDominatingCSR(c, target)
-	s.best = make([]int32, len(greedy))
-	for i, v := range greedy {
-		s.best[i] = int32(v)
-	}
-	s.bestLen = len(greedy)
-	s.remain = len(target) // target is duplicate-free by the caller's Dedup
-	return s
-}
-
-// choose marks v as picked, updating domination counts.
-func (s *bnbCSR) choose(v int32) {
-	for _, u := range s.covers[v] {
-		if s.cnt[u] == 0 {
-			s.remain--
-		}
-		s.cnt[u]++
-	}
-}
-
-// unchoose reverts choose(v).
-func (s *bnbCSR) unchoose(v int32) {
-	for _, u := range s.covers[v] {
-		s.cnt[u]--
-		if s.cnt[u] == 0 {
-			s.remain++
-		}
-	}
-}
-
-// search extends the current partial solution, mirroring bnbState.search.
-func (s *bnbCSR) search(chosen []int32) {
-	if len(chosen) >= s.bestLen {
-		return
-	}
-	// Find the undominated target vertex with the fewest dominators.
-	pick, pickDeg := -1, math.MaxInt
-	for v := 0; v < s.c.N(); v++ {
-		if !s.inB[v] || s.cnt[v] > 0 {
-			continue
-		}
-		if d := s.c.Degree(v) + 1; d < pickDeg {
-			pick, pickDeg = v, d
-		}
-	}
-	if pick < 0 {
-		s.best = append(s.best[:0], chosen...)
-		s.bestLen = len(chosen)
-		return
-	}
-	// Lower bound: every new pick dominates at most maxCover still
-	// undominated targets.
-	maxCover := 0
-	for v := 0; v < s.c.N(); v++ {
-		cov := 0
-		for _, u := range s.covers[v] {
-			if s.cnt[u] == 0 {
-				cov++
-			}
-		}
-		if cov > maxCover {
-			maxCover = cov
-		}
-	}
-	if maxCover == 0 {
-		return // unreachable: every target vertex dominates itself
-	}
-	if lb := len(chosen) + (s.remain+maxCover-1)/maxCover; lb >= s.bestLen {
-		return
-	}
-	// Branch on the dominators of pick, most-covering first (same
-	// candidate list and comparator as the adjacency-list solver, so the
-	// unstable sort produces the same order).
-	cands := s.c.AppendClosed(make([]int32, 0, s.c.Degree(pick)+1), pick)
-	sort.Slice(cands, func(i, j int) bool {
-		return len(s.covers[cands[i]]) > len(s.covers[cands[j]])
-	})
-	for _, v := range cands {
-		s.choose(v)
-		s.search(append(chosen, v))
-		s.unchoose(v)
-	}
+	return newEngineCSR(c, target).solve(opt)
 }

@@ -7,7 +7,6 @@ package mds
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"localmds/internal/graph"
@@ -62,32 +61,75 @@ func IsVertexCover(g *graph.Graph, s []int) bool {
 	return true
 }
 
-// MaxExactMDSVertices bounds the instances the exact MDS solver accepts;
-// branch and bound is exponential in the worst case, and this limit keeps
-// worst cases to seconds at most on sparse graphs.
-const MaxExactMDSVertices = 160
+// MaxExactMDSVertices is the default instance cap for the exact solver's
+// branch-and-bound path (forests and treewidth-<=2 graphs dispatch to
+// unbounded DPs first and never hit it). Branch and bound is exponential
+// in the worst case; the bitset engine keeps its worst observed cases —
+// grids — to seconds up to roughly this size, where the old adjacency-list
+// search was capped at 160 (see EXPERIMENTS.md "Exact solver"). It is a
+// variable so deployments with different patience can tune it; per-call
+// overrides go through ExactOptions.MaxVertices.
+var MaxExactMDSVertices = 512
+
+// ExactOptions tunes the exact solver's branch-and-bound engine. The zero
+// value reproduces the default ExactMDS/ExactBDominating behavior.
+type ExactOptions struct {
+	// MaxVertices overrides MaxExactMDSVertices for this call (0: use the
+	// package default). The DP dispatch paths ignore it.
+	MaxVertices int
+	// MaxNodes bounds the number of search-tree nodes (0: unbounded). An
+	// exhausted budget returns an error instead of a possibly suboptimal
+	// set; callers use it to keep best-effort OPT probes from stalling.
+	// The sequential node count is deterministic, so a budgeted failure
+	// is reproducible.
+	MaxNodes int64
+	// Workers > 1 fans the root-level branches out in parallel. The
+	// returned size is still exactly optimal (and deterministic), but the
+	// particular optimum returned may vary between runs; leave 0 in paths
+	// that require byte-identical outputs.
+	Workers int
+	// Pool optionally supplies the worker pool driving parallel branching
+	// (*runner.Pool satisfies it; mds cannot import runner without a
+	// cycle). When nil and Workers > 1, the engine spins Workers
+	// transient goroutines instead.
+	Pool Pool
+}
+
+// Pool is the worker-pool surface the engine needs for parallel
+// branching; runner.Pool implements it.
+type Pool interface {
+	Submit(fn func())
+}
 
 // ExactMDS returns a minimum dominating set of g. Forests dispatch to a
 // linear-time DP and treewidth-<=2 graphs (all this repository's workload
 // classes) to a width-2 tree-decomposition DP, both with no size limit;
-// everything else runs branch and bound, which requires
+// everything else runs the bitset branch-and-bound engine, which requires
 // g.N() <= MaxExactMDSVertices.
 func ExactMDS(g *graph.Graph) ([]int, error) {
+	return ExactMDSOpt(g, ExactOptions{})
+}
+
+// ExactMDSOpt is ExactMDS with engine options. The dispatch is identical:
+// forest DP, then treewidth-2 DP, then the branch-and-bound engine.
+func ExactMDSOpt(g *graph.Graph, opt ExactOptions) ([]int, error) {
 	if IsForest(g) {
 		return exactMDSForest(g), nil
 	}
-	if sol, err := exactMDSTreewidth2(g); err == nil {
-		return sol, nil
-	}
-	return ExactBDominating(g, allVertices(g))
+	return ExactBDominatingOpt(g, allVertices(g), opt)
 }
 
 // ExactBDominating returns a minimum set S ⊆ V(g) dominating every vertex
 // of target (MDS(G, B) in the paper's notation, B = target). Candidates are
 // restricted to N[target], which is without loss of optimality.
-// Treewidth-<=2 inputs dispatch to the unbounded DP; the rest run branch
-// and bound, capped at MaxExactMDSVertices.
+// Treewidth-<=2 inputs dispatch to the unbounded DP; the rest run the
+// bitset branch-and-bound engine, capped at MaxExactMDSVertices.
 func ExactBDominating(g *graph.Graph, target []int) ([]int, error) {
+	return ExactBDominatingOpt(g, target, ExactOptions{})
+}
+
+// ExactBDominatingOpt is ExactBDominating with engine options.
+func ExactBDominatingOpt(g *graph.Graph, target []int, opt ExactOptions) ([]int, error) {
 	target = graph.Dedup(target)
 	if len(target) == 0 {
 		return nil, nil
@@ -102,104 +144,22 @@ func ExactBDominating(g *graph.Graph, target []int) ([]int, error) {
 	if sol, err := exactTW2BDominating(g, required); err == nil {
 		return sol, nil
 	}
-	if g.N() > MaxExactMDSVertices {
-		return nil, fmt.Errorf("mds: graph has %d vertices, exact solver capped at %d", g.N(), MaxExactMDSVertices)
+	if err := checkExactCap(g.N(), opt); err != nil {
+		return nil, err
 	}
-	s := newBnbState(g, target)
-	s.search(nil)
-	out := append([]int(nil), s.best...)
-	sort.Ints(out)
-	return out, nil
+	return newEngineGraph(g, target).solve(opt)
 }
 
-// bnbState carries the branch-and-bound search for B-dominating sets.
-type bnbState struct {
-	g       *graph.Graph
-	inB     []bool
-	covers  [][]int // covers[v]: target vertices dominated by picking v
-	best    []int
-	bestLen int
-}
-
-func newBnbState(g *graph.Graph, target []int) *bnbState {
-	inB := make([]bool, g.N())
-	for _, v := range target {
-		inB[v] = true
+// checkExactCap enforces the branch-and-bound vertex cap.
+func checkExactCap(n int, opt ExactOptions) error {
+	cap := opt.MaxVertices
+	if cap <= 0 {
+		cap = MaxExactMDSVertices
 	}
-	covers := make([][]int, g.N())
-	for v := 0; v < g.N(); v++ {
-		for _, u := range g.Ball(v, 1) {
-			if inB[u] {
-				covers[v] = append(covers[v], u)
-			}
-		}
+	if n > cap {
+		return fmt.Errorf("mds: graph has %d vertices, exact solver capped at %d", n, cap)
 	}
-	// Greedy solution seeds the upper bound.
-	greedy := greedyBDominating(g, target, covers)
-	return &bnbState{g: g, inB: inB, covers: covers, best: greedy, bestLen: len(greedy)}
-}
-
-// search extends the current partial solution; chosen is the picked set.
-func (s *bnbState) search(chosen []int) {
-	if len(chosen) >= s.bestLen {
-		return
-	}
-	dominated := make([]bool, s.g.N())
-	for _, v := range chosen {
-		for _, u := range s.covers[v] {
-			dominated[u] = true
-		}
-	}
-	// Find the undominated target vertex with the fewest dominators: the
-	// strongest branching point.
-	pick, pickDeg := -1, math.MaxInt
-	remaining := 0
-	maxCover := 0
-	for v := 0; v < s.g.N(); v++ {
-		if !s.inB[v] || dominated[v] {
-			continue
-		}
-		remaining++
-		d := s.g.Degree(v) + 1
-		if d < pickDeg {
-			pick, pickDeg = v, d
-		}
-	}
-	if pick < 0 {
-		s.best = append(s.best[:0], chosen...)
-		s.bestLen = len(chosen)
-		return
-	}
-	// Lower bound: every new pick dominates at most maxCover *still
-	// undominated* targets. Computing the residual coverage per candidate
-	// is linear in the adjacency size and prunes far better than the
-	// static bound, especially on grids.
-	for v := 0; v < s.g.N(); v++ {
-		c := 0
-		for _, u := range s.covers[v] {
-			if !dominated[u] {
-				c++
-			}
-		}
-		if c > maxCover {
-			maxCover = c
-		}
-	}
-	if maxCover == 0 {
-		return // unreachable: every target vertex dominates itself
-	}
-	lb := len(chosen) + (remaining+maxCover-1)/maxCover
-	if lb >= s.bestLen {
-		return
-	}
-	// Branch on the dominators of pick, most-covering first.
-	cands := append([]int(nil), s.g.Ball(pick, 1)...)
-	sort.Slice(cands, func(i, j int) bool {
-		return len(s.covers[cands[i]]) > len(s.covers[cands[j]])
-	})
-	for _, v := range cands {
-		s.search(append(chosen, v))
-	}
+	return nil
 }
 
 // GreedyMDS returns the classical greedy dominating set (repeatedly pick

@@ -92,9 +92,13 @@ func TestExactMDSKnownValues(t *testing.T) {
 
 func TestExactMDSRefusesLarge(t *testing.T) {
 	// Forests and treewidth-<=2 graphs dispatch to unbounded DPs; only
-	// genuinely hard instances (here: a large grid) hit the bounded
-	// branch and bound.
-	if _, err := ExactMDS(gen.Grid(13, 13)); err == nil {
+	// genuinely hard instances (here: a grid beyond the cap) hit the
+	// bounded branch and bound.
+	side := 1
+	for side*side <= MaxExactMDSVertices {
+		side++
+	}
+	if _, err := ExactMDS(gen.Grid(side, side)); err == nil {
 		t.Error("oversized high-treewidth instance accepted")
 	}
 	if _, err := ExactMDS(gen.Path(MaxExactMDSVertices + 1)); err != nil {
@@ -102,6 +106,15 @@ func TestExactMDSRefusesLarge(t *testing.T) {
 	}
 	if _, err := ExactMDS(gen.Cycle(MaxExactMDSVertices + 41)); err != nil {
 		t.Errorf("large cycle should use the treewidth DP: %v", err)
+	}
+	// Per-call overrides: a tighter cap rejects, a budget bails out
+	// deterministically instead of stalling.
+	g := gen.Grid(9, 9)
+	if _, err := ExactMDSOpt(g, ExactOptions{MaxVertices: 80}); err == nil {
+		t.Error("MaxVertices override not enforced")
+	}
+	if _, err := ExactMDSOpt(g, ExactOptions{MaxNodes: 10}); err == nil {
+		t.Error("exhausted node budget should error")
 	}
 }
 

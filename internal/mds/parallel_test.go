@@ -1,0 +1,83 @@
+// External test package: exercises the engine's root-parallel branching
+// through a real runner.Pool (mds itself cannot import runner — the
+// sweep Runner there depends on experiments, which depends back on mds —
+// which is why ExactOptions.Pool is an interface).
+package mds_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"localmds/internal/gen"
+	"localmds/internal/graph"
+	"localmds/internal/mds"
+	"localmds/internal/runner"
+)
+
+// TestExactParallelMatchesSequentialSize asserts parallel root branching
+// returns optimal (= sequential) sizes on grids and random graphs, both
+// through a shared runner.Pool and through the internal fallback workers.
+func TestExactParallelMatchesSequentialSize(t *testing.T) {
+	pool := runner.NewPool(4, 64)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(51))
+	cases := []*graph.Graph{
+		gen.Grid(8, 8),
+		gen.Grid(6, 9),
+		gen.GNPConnected(40, 0.12, rng),
+		graph.DisjointUnion(gen.Grid(4, 4), gen.GNPConnected(20, 0.2, rng)),
+	}
+	for i, g := range cases {
+		seq, err := mds.ExactMDS(g)
+		if err != nil {
+			t.Fatalf("case %d sequential: %v", i, err)
+		}
+		pooled, err := mds.ExactMDSOpt(g, mds.ExactOptions{Workers: 4, Pool: pool})
+		if err != nil {
+			t.Fatalf("case %d pooled: %v", i, err)
+		}
+		spun, err := mds.ExactMDSOpt(g, mds.ExactOptions{Workers: 3})
+		if err != nil {
+			t.Fatalf("case %d fallback: %v", i, err)
+		}
+		if len(pooled) != len(seq) || len(spun) != len(seq) {
+			t.Fatalf("case %d: sizes diverge: seq %d, pooled %d, fallback %d",
+				i, len(seq), len(pooled), len(spun))
+		}
+		if !mds.IsDominatingSet(g, pooled) || !mds.IsDominatingSet(g, spun) {
+			t.Fatalf("case %d: parallel result not dominating", i)
+		}
+	}
+}
+
+// TestExactParallelConcurrentCallers runs several parallel solves on one
+// shared pool at once — the shape the race detector needs to see.
+func TestExactParallelConcurrentCallers(t *testing.T) {
+	pool := runner.NewPool(4, 256)
+	defer pool.Close()
+	g := gen.Grid(7, 7)
+	want, err := mds.ExactMDS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 6)
+	for i := 0; i < 6; i++ {
+		opt := mds.ExactOptions{Workers: 2}
+		if i%2 == 0 {
+			opt.Pool = pool // even callers share the pool, odd ones spin fallback workers
+		}
+		go func() {
+			sol, err := mds.ExactMDSOpt(g, opt)
+			if err == nil && len(sol) != len(want) {
+				err = fmt.Errorf("parallel size %d, want %d", len(sol), len(want))
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# bench.sh — run the exact-solver benchmark family and write BENCH_exact.json.
+#
+# The JSON records one entry per benchmark line (name, iterations, ns/op,
+# B/op, allocs/op, and the "opt" metric where reported), so the solver's
+# perf trajectory is machine-readable across PRs. CI runs it with the
+# default single iteration (BENCHTIME=1x) as a smoke + snapshot; local
+# measurement runs want BENCHTIME=2s or similar for stable numbers.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=1x|2s|...   benchtime passed to go test (default 1x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_exact.json}"
+benchtime="${BENCHTIME:-1x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# Both families: the full-dispatch surface at the repo root and the
+# engine-vs-reference family in internal/mds.
+go test -run '^$' -bench '^BenchmarkExactMDS' -benchtime "$benchtime" -benchmem \
+	. ./internal/mds | tee "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" '
+BEGIN {
+	printf "{\n  \"generated\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"results\": [", date, benchtime
+	first = 1
+}
+/^Benchmark/ && NF >= 4 {
+	name = $1; iters = $2
+	ns = ""; bop = ""; aop = ""; opt = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "B/op") bop = $i
+		if ($(i+1) == "allocs/op") aop = $i
+		if ($(i+1) == "opt") opt = $i
+	}
+	if (!first) printf ","
+	first = 0
+	printf "\n    {\"name\": \"%s\", \"iters\": %s", name, iters
+	if (ns != "") printf ", \"ns_op\": %s", ns
+	if (bop != "") printf ", \"b_op\": %s", bop
+	if (aop != "") printf ", \"allocs_op\": %s", aop
+	if (opt != "") printf ", \"opt\": %s", opt
+	printf "}"
+}
+END { print "\n  ]\n}" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
