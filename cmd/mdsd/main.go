@@ -8,13 +8,21 @@
 //
 //	mdsd [-addr :8377] [-workers W] [-queue Q] [-cache N]
 //	     [-timeout D] [-pipeline-workers W]
+//	     [-auth-tokens FILE] [-rate R] [-rate-burst B] [-tenant-jobs N]
+//	     [-read-timeout D] [-idle-timeout D] [-admin-addr HOST:PORT]
+//	     [-log-requests]
 //
 // Endpoints: POST /v1/solve, POST /v1/batch, GET /v1/jobs/{id},
-// GET /healthz, GET /metrics. See EXPERIMENTS.md ("Serving") for curl
-// examples.
+// GET /healthz, GET /metrics. With -auth-tokens (one "tenant:token" per
+// line) the /v1/* surface requires "Authorization: Bearer <token>";
+// -rate/-rate-burst and -tenant-jobs bound each tenant with 429 +
+// Retry-After. -admin-addr exposes /debug/pprof/* (plus /healthz and
+// /metrics) on a separate operator listener. See EXPERIMENTS.md
+// ("Serving", "Hardening & saturation") for curl examples.
 //
-// SIGTERM/SIGINT drain gracefully: the listener closes, accepted jobs
-// finish, then the process exits. A second signal aborts immediately.
+// SIGTERM/SIGINT drain gracefully: new work is shed with 503 while
+// accepted jobs finish and stay pollable, then the listener closes and
+// the process exits. A second signal aborts immediately.
 package main
 
 import (
@@ -48,6 +56,14 @@ func run(args []string, stdout io.Writer) error {
 	cacheEntries := fs.Int("cache", 256, "content-addressed result cache capacity (entries)")
 	timeout := fs.Duration("timeout", 0, "per-job solve timeout (0: unbounded)")
 	pipelineWorkers := fs.Int("pipeline-workers", 1, "ComponentSolve fan-out per job (1: scale across requests, not within one)")
+	authTokens := fs.String("auth-tokens", "", "bearer-token file, one tenant:token per line (empty: anonymous tier)")
+	rate := fs.Float64("rate", 0, "per-tenant request rate limit in req/s (0: unlimited)")
+	rateBurst := fs.Int("rate-burst", 0, "per-tenant rate-limit burst (0: derived from -rate)")
+	tenantJobs := fs.Int("tenant-jobs", 0, "per-tenant in-flight job quota, 429 when exhausted (0: unlimited)")
+	readTimeout := fs.Duration("read-timeout", time.Minute, "read deadline for request headers and bodies, slowloris guard (0: none)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle deadline (0: none)")
+	adminAddr := fs.String("admin-addr", "", "separate admin listener for /debug/pprof/, /healthz, /metrics (empty: disabled)")
+	logRequests := fs.Bool("log-requests", false, "emit one structured JSON log line per request to stderr")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -60,20 +76,69 @@ func run(args []string, stdout io.Writer) error {
 	if *timeout < 0 {
 		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
 	}
+	if *readTimeout < 0 || *idleTimeout < 0 {
+		return fmt.Errorf("-read-timeout and -idle-timeout must be >= 0, got %v and %v", *readTimeout, *idleTimeout)
+	}
+	if *rate < 0 || *rateBurst < 0 || *tenantJobs < 0 {
+		return fmt.Errorf("-rate, -rate-burst, and -tenant-jobs must be >= 0")
+	}
 
-	svc := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheEntries:    *cacheEntries,
-		JobTimeout:      *timeout,
-		PipelineWorkers: *pipelineWorkers,
-	})
+	cfg := service.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheEntries,
+		JobTimeout:       *timeout,
+		PipelineWorkers:  *pipelineWorkers,
+		RatePerSec:       *rate,
+		RateBurst:        *rateBurst,
+		MaxJobsPerTenant: *tenantJobs,
+	}
+	if *authTokens != "" {
+		tokens, err := service.LoadTokens(*authTokens)
+		if err != nil {
+			return fmt.Errorf("-auth-tokens: %w", err)
+		}
+		cfg.Tokens = tokens
+	}
+	if *logRequests {
+		cfg.AccessLog = os.Stderr
+	}
+	svc := service.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	// ReadHeaderTimeout defeats slowloris clients that trickle header
+	// bytes; ReadTimeout additionally bounds body upload time and
+	// IdleTimeout reclaims idle keep-alive connections. All three were
+	// previously zero, i.e. a single hostile connection could be held
+	// open forever.
+	headerTimeout := 10 * time.Second
+	if *readTimeout > 0 && *readTimeout < headerTimeout {
+		headerTimeout = *readTimeout
+	}
+	httpSrv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: headerTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		adminLn, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("-admin-addr: %w", err)
+		}
+		adminSrv = &http.Server{
+			Handler:           svc.AdminHandler(),
+			ReadHeaderTimeout: headerTimeout,
+			IdleTimeout:       *idleTimeout,
+		}
+		go func() { _ = adminSrv.Serve(adminLn) }()
+		fmt.Fprintf(stdout, "mdsd: admin on %s\n", adminLn.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -89,18 +154,22 @@ func run(args []string, stdout io.Writer) error {
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: stop accepting, let in-flight HTTP exchanges and
-	// accepted jobs finish. A second signal (stop() restored default
-	// handling) kills the process the usual way.
+	// Graceful drain, listener-last: new submissions shed with 503 while
+	// accepted jobs finish, and /v1/jobs/{id} keeps answering until every
+	// job is terminal; only then does the listener close. A second signal
+	// (stop() restored default handling) kills the process the usual way.
 	stop()
 	fmt.Fprintf(stdout, "mdsd: draining (signal received)\n")
+	svc.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	if adminSrv != nil {
+		_ = adminSrv.Shutdown(shutdownCtx)
+	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		svc.Close()
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	svc.Drain()
 	fmt.Fprintf(stdout, "mdsd: drained, bye\n")
 	return nil
 }

@@ -18,6 +18,13 @@ func TestFlagValidation(t *testing.T) {
 		{"-workers", "-1"},
 		{"-timeout", "-1s"},
 		{"-addr", "not-an-address"},
+		{"-read-timeout", "-1s"},
+		{"-idle-timeout", "-5s"},
+		{"-rate", "-2"},
+		{"-rate-burst", "-1"},
+		{"-tenant-jobs", "-1"},
+		{"-auth-tokens", "/no/such/token/file"},
+		{"-admin-addr", "not-an-address"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
@@ -50,30 +57,35 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
-// TestServeSolveAndGracefulDrain boots the daemon on an ephemeral port,
-// solves one edge list over HTTP, then delivers SIGTERM and expects a
-// clean drain.
+// waitForAddr polls the daemon's stdout for an announcement line with
+// the given prefix and returns the address it reports.
+func waitForAddr(t *testing.T, out *syncBuffer, prefix string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, prefix); ok {
+				return rest
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced %q; output: %q", prefix, out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeSolveAndGracefulDrain boots the daemon on an ephemeral port
+// (with the slowloris read/idle timeouts set), solves one edge list over
+// HTTP, then delivers SIGTERM and expects a clean drain.
 func TestServeSolveAndGracefulDrain(t *testing.T) {
 	var out syncBuffer
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, &out)
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2",
+			"-read-timeout", "5s", "-idle-timeout", "5s"}, &out)
 	}()
-
-	// Wait for the listening line to learn the port.
-	var addr string
-	deadline := time.Now().Add(10 * time.Second)
-	for addr == "" {
-		if time.Now().After(deadline) {
-			t.Fatalf("daemon never announced its address; output: %q", out.String())
-		}
-		for _, line := range strings.Split(out.String(), "\n") {
-			if rest, ok := strings.CutPrefix(line, "mdsd: listening on "); ok {
-				addr = rest
-			}
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	addr := waitForAddr(t, &out, "mdsd: listening on ")
 
 	body := `{"data": "0 1\n1 2\n2 3\n3 0\n"}`
 	resp, err := http.Post("http://"+addr+"/v1/solve", "application/json", strings.NewReader(body))
@@ -112,5 +124,115 @@ func TestServeSolveAndGracefulDrain(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "drained, bye") {
 		t.Fatalf("missing drain log: %q", out.String())
+	}
+}
+
+// TestDrainMidBatch delivers SIGTERM while async batch jobs are still
+// running: the daemon must keep /v1/jobs/{id} answering and shed new
+// solves with 503 during the drain, finish every accepted job, and exit
+// cleanly without panicking the pool.
+func TestDrainMidBatch(t *testing.T) {
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-queue", "8"}, &out)
+	}()
+	addr := waitForAddr(t, &out, "mdsd: listening on ")
+	base := "http://" + addr
+
+	// Three distinct ~0.5-1s grid solves on one worker: a multi-second
+	// drain window after the signal lands.
+	batch := `{"requests": [
+		{"generator": {"kind": "grid", "n": 2500}},
+		{"generator": {"kind": "grid", "n": 2601}},
+		{"generator": {"kind": "grid", "n": 2704}}
+	]}`
+	resp, err := http.Post(base+"/v1/batch", "application/json", strings.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct {
+		Jobs []struct {
+			JobID  string `json:"job_id"`
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || len(accepted.Jobs) != 3 {
+		t.Fatalf("batch: %d %+v", resp.StatusCode, accepted)
+	}
+	for _, j := range accepted.Jobs {
+		if j.Status == "failed" {
+			t.Fatalf("batch entry failed at submit: %+v", j)
+		}
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// While draining, the listener is still up: new work is shed with
+	// 503 + Retry-After and job polling keeps answering.
+	sawShed, sawPoll, exited := false, false, false
+	for !exited && !(sawShed && sawPoll) {
+		select {
+		case err := <-done:
+			// The daemon finished draining before we observed both
+			// behaviors — jobs were faster than the signal; the strong
+			// mid-drain assertions live in the service-level
+			// TestDrainWhileBusy with a stubbed solver.
+			if err != nil {
+				t.Fatalf("run returned %v", err)
+			}
+			t.Logf("drain finished early (sawShed=%v sawPoll=%v)", sawShed, sawPoll)
+			exited = true
+			continue
+		default:
+		}
+		if !sawShed {
+			r, err := http.Post(base+"/v1/solve", "application/json",
+				strings.NewReader(`{"generator": {"kind": "grid", "n": 3600}}`))
+			if err == nil {
+				if r.StatusCode == http.StatusServiceUnavailable {
+					if r.Header.Get("Retry-After") == "" {
+						t.Error("drain 503 without Retry-After")
+					}
+					sawShed = true
+				}
+				r.Body.Close()
+			}
+		}
+		if !sawPoll {
+			r, err := http.Get(base + "/v1/jobs/" + accepted.Jobs[2].JobID)
+			if err == nil {
+				if r.StatusCode == http.StatusOK {
+					sawPoll = true
+				}
+				r.Body.Close()
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if !exited {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("daemon did not finish draining; output: %q", out.String())
+		}
+	}
+	text := out.String()
+	if !strings.Contains(text, "drained, bye") {
+		t.Fatalf("missing drain log: %q", text)
+	}
+	if strings.Contains(text, "panic") {
+		t.Fatalf("pool panicked during drain: %q", text)
 	}
 }

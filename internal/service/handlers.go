@@ -37,9 +37,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorBody{Error: err.Error()})
 		return
 	}
-	j, queueFull := s.submit(ps)
-	if queueFull {
+	j, rej := s.submit(ps, tenantFrom(r.Context()))
+	switch rej {
+	case rejectShed:
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: j.view().Error})
+		return
+	case rejectQuota:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: j.view().Error})
 		return
 	}
 	select {
@@ -55,9 +61,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, v)
 	case errors.Is(jobErr(j), runner.ErrTimeout):
 		writeJSON(w, http.StatusGatewayTimeout, v)
-	case errors.Is(jobErr(j), errQueueFull):
+	case errors.Is(jobErr(j), errTenantQuota):
+		// A deduplicated follower joined a job whose leader was then
+		// quota-rejected: same deterministic 429 as the leader.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, v)
+	case errors.Is(jobErr(j), errQueueFull), errors.Is(jobErr(j), errDraining):
 		// Deduplicated followers of a shed leader land here: load
 		// shedding is 503 for every waiter, not a server fault.
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, v)
 	default:
 		writeJSON(w, http.StatusInternalServerError, v)
@@ -106,13 +118,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entries := make([]BatchEntry, len(req.Requests))
+	tn := tenantFrom(r.Context())
 	for i := range req.Requests {
 		ps, err := parseSolve(&req.Requests[i])
 		if err != nil {
 			entries[i] = BatchEntry{Status: StatusFailed, Error: err.Error()}
 			continue
 		}
-		j, _ := s.submit(ps) // queue-full jobs come back already failed
+		// Shed/quota-rejected jobs come back already failed; the entry
+		// carries the rejection so the batch itself still succeeds.
+		j, _ := s.submit(ps, tn)
 		v := j.view()
 		entries[i] = BatchEntry{JobID: j.ID, Status: v.Status, Error: v.Error}
 	}
@@ -130,11 +145,17 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.view())
 }
 
-// handleHealthz is GET /healthz.
+// handleHealthz is GET /healthz. It stays unauthenticated and unlimited
+// so load-balancer probes keep working whatever the tenant config, and
+// reports "draining" once shutdown has begun.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_, entries := s.cache.stats()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
+		"status":        status,
 		"uptime_s":      time.Since(s.started).Seconds(),
 		"queue_depth":   s.pool.Pending(),
 		"workers":       s.pool.Workers(),

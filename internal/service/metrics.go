@@ -102,6 +102,41 @@ func (s *Server) renderMetrics() string {
 	fmt.Fprintf(&b, "# TYPE mdsd_cache_entries gauge\n")
 	fmt.Fprintf(&b, "mdsd_cache_entries %d\n", entries)
 
+	draining := 0
+	if s.draining.Load() {
+		draining = 1
+	}
+	fmt.Fprintf(&b, "# HELP mdsd_draining Whether the daemon is draining (shedding new work with 503).\n")
+	fmt.Fprintf(&b, "# TYPE mdsd_draining gauge\n")
+	fmt.Fprintf(&b, "mdsd_draining %d\n", draining)
+
+	fmt.Fprintf(&b, "# HELP mdsd_auth_failures_total Requests rejected with 401 (missing or unknown bearer token).\n")
+	fmt.Fprintf(&b, "# TYPE mdsd_auth_failures_total counter\n")
+	fmt.Fprintf(&b, "mdsd_auth_failures_total %d\n", s.authFailures.Load())
+
+	tenants := s.tenantSnapshot()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+	fmt.Fprintf(&b, "# HELP mdsd_tenant_requests_total Per-tenant request outcomes at the middleware and submission gates.\n")
+	fmt.Fprintf(&b, "# TYPE mdsd_tenant_requests_total counter\n")
+	for _, tn := range tenants {
+		for _, oc := range []struct {
+			name  string
+			value int64
+		}{
+			{"accepted", tn.accepted.Load()},
+			{"rate_limited", tn.rateLimited.Load()},
+			{"quota_rejected", tn.quotaRejected.Load()},
+			{"shed", tn.shed.Load()},
+		} {
+			fmt.Fprintf(&b, "mdsd_tenant_requests_total{tenant=%q,outcome=%q} %d\n", tn.name, oc.name, oc.value)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP mdsd_tenant_jobs_inflight Per-tenant queued+running jobs held against the quota.\n")
+	fmt.Fprintf(&b, "# TYPE mdsd_tenant_jobs_inflight gauge\n")
+	for _, tn := range tenants {
+		fmt.Fprintf(&b, "mdsd_tenant_jobs_inflight{tenant=%q} %d\n", tn.name, tn.jobs.Load())
+	}
+
 	order, wall, runs, solves := s.stages.snapshot()
 	fmt.Fprintf(&b, "# HELP mdsd_computations_total Pipeline executions (cache hits excluded).\n")
 	fmt.Fprintf(&b, "# TYPE mdsd_computations_total counter\n")

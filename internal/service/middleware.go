@@ -1,0 +1,326 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the operational-hardening layer between the listener and
+// the solve handlers, modeled on podman's pkg/api middleware stack: an
+// outermost observability wrapper (request-ID tagging + structured access
+// logging), then a client gate on the /v1/ API surface (bearer-token
+// auth, per-tenant token-bucket rate limiting), with per-tenant job
+// quotas enforced at submission time. /healthz and /metrics stay open so
+// probes and scrapers never need credentials; the pprof surface lives on
+// a separate admin mux (AdminHandler) that is only reachable when the
+// operator binds it to its own listener.
+
+// AnonymousTenant is the tenant every request maps to when no token file
+// is configured: limits still apply, identity is just not distinguished.
+const AnonymousTenant = "anonymous"
+
+// LoadTokens parses a bearer-token file: one "tenant:token" pair per
+// line, '#' comments and blank lines ignored. Tenant names and tokens
+// must be non-empty; duplicate tenants or tokens (which would make the
+// mapping ambiguous) are rejected.
+func LoadTokens(path string) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tokens := make(map[string]string)
+	seen := make(map[string]string) // token -> tenant, for duplicate detection
+	for i, line := range strings.Split(string(data), "\n") {
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		tenant, token, ok := strings.Cut(line, ":")
+		tenant, token = strings.TrimSpace(tenant), strings.TrimSpace(token)
+		if !ok || tenant == "" || token == "" {
+			return nil, fmt.Errorf("%s:%d: want \"tenant:token\", got %q", path, i+1, line)
+		}
+		if _, dup := tokens[tenant]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate tenant %q", path, i+1, tenant)
+		}
+		if prev, dup := seen[token]; dup {
+			return nil, fmt.Errorf("%s:%d: token for %q duplicates tenant %q", path, i+1, tenant, prev)
+		}
+		tokens[tenant] = token
+		seen[token] = tenant
+	}
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("%s: no tokens (want one \"tenant:token\" per line)", path)
+	}
+	return tokens, nil
+}
+
+// tokenEntry is one tenant's credential, stored hashed so the comparison
+// below is constant-time in both content and length.
+type tokenEntry struct {
+	name string
+	sum  [sha256.Size]byte
+}
+
+// authenticate resolves the Authorization header to a tenant name. With
+// no tokens configured every request is the anonymous tier. The scan
+// visits every entry without early exit and compares SHA-256 digests via
+// crypto/subtle, so timing reveals neither which tenant matched nor how
+// much of a token prefix was right.
+func (s *Server) authenticate(header string) (string, bool) {
+	if len(s.tokenHashes) == 0 {
+		return AnonymousTenant, true
+	}
+	token, ok := strings.CutPrefix(header, "Bearer ")
+	if !ok {
+		return "", false
+	}
+	sum := sha256.Sum256([]byte(strings.TrimSpace(token)))
+	name, found := "", false
+	for i := range s.tokenHashes {
+		if subtle.ConstantTimeCompare(s.tokenHashes[i].sum[:], sum[:]) == 1 {
+			name, found = s.tokenHashes[i].name, true
+		}
+	}
+	return name, found
+}
+
+// tokenBucket is a classic token-bucket rate limiter. now is injectable
+// so tests can drive refill deterministically.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if burst < 1 {
+		burst = int(math.Max(1, math.Ceil(rate)))
+	}
+	b := &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+// take consumes one token if available; otherwise it reports how long
+// until the next token accrues (the Retry-After hint).
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// tenantState is one tenant's live accounting: its rate limiter, its
+// in-flight job gauge against the quota, and its outcome counters for
+// /metrics.
+type tenantState struct {
+	name    string
+	bucket  *tokenBucket // nil = unlimited
+	jobs    atomic.Int64 // queued + running jobs owned by this tenant
+	maxJobs int64        // <= 0 = unlimited
+
+	accepted      atomic.Int64 // requests past auth + rate limiting
+	rateLimited   atomic.Int64 // 429s from the token bucket
+	quotaRejected atomic.Int64 // 429s from the job quota
+	shed          atomic.Int64 // 503s (queue full or draining)
+}
+
+// tryAcquireJob reserves one job slot against the quota; releaseJob
+// returns it when the job reaches a terminal state.
+func (t *tenantState) tryAcquireJob() bool {
+	for {
+		cur := t.jobs.Load()
+		if t.maxJobs > 0 && cur >= t.maxJobs {
+			return false
+		}
+		if t.jobs.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func (t *tenantState) releaseJob() { t.jobs.Add(-1) }
+
+// tenant returns (creating on first use) the named tenant's state.
+func (s *Server) tenant(name string) *tenantState {
+	s.tenantsMu.Lock()
+	defer s.tenantsMu.Unlock()
+	tn := s.tenants[name]
+	if tn == nil {
+		tn = &tenantState{name: name, maxJobs: int64(s.cfg.MaxJobsPerTenant)}
+		if s.cfg.RatePerSec > 0 {
+			tn.bucket = newTokenBucket(s.cfg.RatePerSec, s.cfg.RateBurst)
+		}
+		s.tenants[name] = tn
+	}
+	return tn
+}
+
+// tenantSnapshot lists tenants in sorted-name order for /metrics.
+func (s *Server) tenantSnapshot() []*tenantState {
+	s.tenantsMu.Lock()
+	defer s.tenantsMu.Unlock()
+	out := make([]*tenantState, 0, len(s.tenants))
+	for _, tn := range s.tenants {
+		out = append(out, tn)
+	}
+	return out
+}
+
+// ctxKey keys the request-scoped values the middleware attaches.
+type ctxKey int
+
+const (
+	ctxKeyTenant ctxKey = iota
+	ctxKeyInfo
+)
+
+// requestInfo is filled in by inner middleware and read back by the
+// outermost logging wrapper once the handler returns.
+type requestInfo struct {
+	id     string
+	tenant string
+}
+
+func tenantFrom(ctx context.Context) *tenantState {
+	tn, _ := ctx.Value(ctxKeyTenant).(*tenantState)
+	return tn
+}
+
+// statusRecorder captures the response status and size for access logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// observe is the outermost middleware: it tags every request with an ID
+// (honoring a client-supplied X-Request-Id), mirrors it on the response,
+// and emits one structured log line per request when access logging is
+// configured.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = fmt.Sprintf("req-%08x", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-Id", id)
+		info := &requestInfo{id: id, tenant: "-"}
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyInfo, info))
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		if s.logger != nil {
+			s.logger.Info("request",
+				"id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"bytes", rec.bytes,
+				"dur_ms", float64(time.Since(start).Microseconds())/1e3,
+				"tenant", info.tenant,
+				"remote", r.RemoteAddr,
+			)
+		}
+	})
+}
+
+// guard protects the /v1/ API surface: bearer-token auth resolves the
+// tenant, then the tenant's token bucket admits or 429s the request.
+// Probe endpoints (/healthz, /metrics) pass through untouched.
+func (s *Server) guard(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		name, ok := s.authenticate(r.Header.Get("Authorization"))
+		if !ok {
+			s.authFailures.Add(1)
+			w.Header().Set("WWW-Authenticate", `Bearer realm="mdsd"`)
+			writeJSON(w, http.StatusUnauthorized, errorBody{Error: "missing or invalid bearer token"})
+			return
+		}
+		if info, _ := r.Context().Value(ctxKeyInfo).(*requestInfo); info != nil {
+			info.tenant = name
+		}
+		tn := s.tenant(name)
+		if tn.bucket != nil {
+			if ok, retry := tn.bucket.take(); !ok {
+				tn.rateLimited.Add(1)
+				w.Header().Set("Retry-After", retryAfterSeconds(retry))
+				writeJSON(w, http.StatusTooManyRequests,
+					errorBody{Error: fmt.Sprintf("rate limit exceeded for tenant %q", name)})
+				return
+			}
+		}
+		tn.accepted.Add(1)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxKeyTenant, tn)))
+	})
+}
+
+// retryAfterSeconds renders a Retry-After header value, never below 1s.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// handleNotFound keeps unknown routes on the uniform errorBody JSON shape
+// instead of net/http's plain-text default.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusNotFound, errorBody{Error: "no such endpoint " + r.URL.Path})
+}
+
+// AdminHandler is the operator surface: net/http/pprof plus the probe
+// endpoints, meant for a separate loopback/admin listener (cmd/mdsd
+// -admin-addr) so profiling is opt-in and never exposed alongside the
+// public API.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,489 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"localmds/internal/core"
+)
+
+func writeTokenFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tokens")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadTokens(t *testing.T) {
+	path := writeTokenFile(t, "# comment\nalice:sekret-a\n\nbob : sekret-b # trailing\n")
+	tokens, err := LoadTokens(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"alice": "sekret-a", "bob": "sekret-b"}
+	if len(tokens) != len(want) {
+		t.Fatalf("tokens = %v", tokens)
+	}
+	for k, v := range want {
+		if tokens[k] != v {
+			t.Fatalf("tokens[%q] = %q, want %q", k, tokens[k], v)
+		}
+	}
+	for name, content := range map[string]string{
+		"missing colon":    "alice sekret\n",
+		"empty tenant":     ":sekret\n",
+		"empty token":      "alice:\n",
+		"duplicate tenant": "alice:a\nalice:b\n",
+		"duplicate token":  "alice:a\nbob:a\n",
+		"no entries":       "# nothing\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadTokens(writeTokenFile(t, content)); err == nil {
+				t.Fatalf("LoadTokens accepted %q", content)
+			}
+		})
+	}
+	if _, err := LoadTokens(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("LoadTokens accepted a missing file")
+	}
+}
+
+// doReq issues one request with optional bearer token and returns the
+// response (caller closes the body).
+func doReq(t *testing.T, method, url, token string, body string) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestBearerAuth(t *testing.T) {
+	_, ts := startServer(t, Config{
+		Workers: 1,
+		Tokens:  map[string]string{"alice": "sekret-alice", "bob": "sekret-bob"},
+	})
+	solve := `{"generator": {"kind": "grid", "n": 16}}`
+
+	// No token and a wrong token are 401 with the uniform JSON error body
+	// and a WWW-Authenticate challenge.
+	for _, token := range []string{"", "wrong", "sekret-alic"} {
+		resp := doReq(t, "POST", ts.URL+"/v1/solve", token, solve)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("token %q: status %d, want 401", token, resp.StatusCode)
+		}
+		if got := resp.Header.Get("WWW-Authenticate"); !strings.Contains(got, "Bearer") {
+			t.Fatalf("WWW-Authenticate = %q", got)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+			t.Fatalf("401 body not errorBody JSON: %v %+v", err, eb)
+		}
+		resp.Body.Close()
+	}
+
+	// A valid token solves; both tenants are accepted.
+	for _, token := range []string{"sekret-alice", "sekret-bob"} {
+		resp := doReq(t, "POST", ts.URL+"/v1/solve", token, solve)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("token %q: status %d, want 200", token, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Probe endpoints stay open without credentials.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp := doReq(t, "GET", ts.URL+path, "", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s without token: status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Auth failures and per-tenant acceptance are visible in /metrics.
+	text := metricsText(t, ts.URL)
+	for _, want := range []string{
+		"mdsd_auth_failures_total 3",
+		`mdsd_tenant_requests_total{tenant="alice",outcome="accepted"} 1`,
+		`mdsd_tenant_requests_total{tenant="bob",outcome="accepted"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func metricsText(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestAnonymousTierWhenNoTokens(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1})
+	req := SolveRequest{Generator: &GeneratorSpec{Kind: "grid", N: 16}}
+	if code := postJSON(t, ts.URL+"/v1/solve", &req, nil); code != http.StatusOK {
+		t.Fatalf("anonymous solve: status %d", code)
+	}
+	text := metricsText(t, ts.URL)
+	if !strings.Contains(text, `mdsd_tenant_requests_total{tenant="anonymous",outcome="accepted"} 1`) {
+		t.Fatalf("anonymous tenant not tracked:\n%s", text)
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := newTokenBucket(2, 3) // 2 tokens/s, burst 3
+	b.now = func() time.Time { return clock }
+	b.last = clock
+	b.tokens = 3
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("burst take %d refused", i)
+		}
+	}
+	ok, retry := b.take()
+	if ok {
+		t.Fatal("take succeeded on an empty bucket")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry hint %v, want (0, 1s] at 2 tokens/s", retry)
+	}
+	clock = clock.Add(500 * time.Millisecond) // refills exactly one token
+	if ok, _ := b.take(); !ok {
+		t.Fatal("take refused after refill")
+	}
+	if ok, _ := b.take(); ok {
+		t.Fatal("second take succeeded without refill")
+	}
+	// Refill saturates at the burst.
+	clock = clock.Add(time.Hour)
+	b.take()
+	b.mu.Lock()
+	if b.tokens > 3 {
+		t.Fatalf("tokens %v exceed burst", b.tokens)
+	}
+	b.mu.Unlock()
+}
+
+func TestRateLimit429(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1, RatePerSec: 1, RateBurst: 2})
+	req := SolveRequest{Generator: &GeneratorSpec{Kind: "grid", N: 16}}
+	codes := make([]int, 0, 5)
+	for i := 0; i < 5; i++ {
+		var eb errorBody
+		codes = append(codes, postJSON(t, ts.URL+"/v1/solve", &req, &eb))
+	}
+	// Burst 2 at 1 token/s: the first two pass, the rest are rate-limited
+	// (the loop finishes in far less than the 1s refill).
+	if codes[0] != http.StatusOK || codes[1] != http.StatusOK {
+		t.Fatalf("burst requests: %v", codes)
+	}
+	limited := 0
+	for _, c := range codes[2:] {
+		if c == http.StatusTooManyRequests {
+			limited++
+		}
+	}
+	if limited == 0 {
+		t.Fatalf("no 429 past the burst: %v", codes)
+	}
+	// The 429 carries a Retry-After hint >= 1s.
+	resp := doReq(t, "POST", ts.URL+"/v1/solve", "", `{"generator":{"kind":"grid","n":16}}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+	if !strings.Contains(metricsText(t, ts.URL), `outcome="rate_limited"`) {
+		t.Fatal("rate_limited outcome missing from metrics")
+	}
+}
+
+func TestTenantJobQuota429(t *testing.T) {
+	s, ts := startServer(t, Config{Workers: 2, QueueDepth: 8, MaxJobsPerTenant: 1})
+	block := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s.solve = func(ps *parsedSolve) (*core.Alg1Result, error) {
+		started <- struct{}{}
+		<-block
+		return &core.Alg1Result{}, nil
+	}
+	mk := func(n int) SolveRequest {
+		return SolveRequest{Generator: &GeneratorSpec{Kind: "grid", N: n}}
+	}
+	// Occupy the single quota slot with an async batch job.
+	var out struct {
+		Jobs []BatchEntry `json:"jobs"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Requests: []SolveRequest{mk(25)}}, &out); code != http.StatusAccepted {
+		t.Fatalf("batch status %d", code)
+	}
+	if out.Jobs[0].Status == StatusFailed {
+		t.Fatalf("quota slot submission failed: %+v", out.Jobs[0])
+	}
+	<-started
+
+	// A second distinct solve for the same (anonymous) tenant is quota-
+	// rejected: deterministic 429 + Retry-After, not a 503.
+	resp := doReq(t, "POST", ts.URL+"/v1/solve", "", `{"generator":{"kind":"grid","n":36}}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || !strings.Contains(eb.Error, "quota") {
+		t.Fatalf("quota body: %v %+v", err, eb)
+	}
+	resp.Body.Close()
+
+	// Quota-rejected jobs are failed, not stuck, and show up in metrics.
+	if !strings.Contains(metricsText(t, ts.URL), `outcome="quota_rejected"`) {
+		t.Fatal("quota_rejected outcome missing from metrics")
+	}
+
+	// Releasing the running job frees the slot.
+	close(block)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code := postJSON(t, ts.URL+"/v1/solve", mk(49), nil); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("quota never released after the job finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRequestIDTagging(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1})
+	resp := doReq(t, "GET", ts.URL+"/healthz", "", "")
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); !strings.HasPrefix(id, "req-") {
+		t.Fatalf("generated X-Request-Id = %q", id)
+	}
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "client-chosen-7")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if id := resp2.Header.Get("X-Request-Id"); id != "client-chosen-7" {
+		t.Fatalf("client X-Request-Id not honored: %q", id)
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf syncLogBuffer
+	_, ts := startServer(t, Config{
+		Workers:   1,
+		Tokens:    map[string]string{"alice": "sekret-alice"},
+		AccessLog: &buf,
+	})
+	resp := doReq(t, "POST", ts.URL+"/v1/solve", "sekret-alice", `{"generator":{"kind":"grid","n":16}}`)
+	resp.Body.Close()
+	var rec struct {
+		Msg    string  `json:"msg"`
+		ID     string  `json:"id"`
+		Method string  `json:"method"`
+		Path   string  `json:"path"`
+		Status int     `json:"status"`
+		Tenant string  `json:"tenant"`
+		DurMS  float64 `json:"dur_ms"`
+	}
+	line := strings.TrimSpace(buf.String())
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("access log line %q: %v", line, err)
+	}
+	if rec.Msg != "request" || rec.Method != "POST" || rec.Path != "/v1/solve" ||
+		rec.Status != http.StatusOK || rec.Tenant != "alice" || !strings.HasPrefix(rec.ID, "req-") {
+		t.Fatalf("access log record %+v", rec)
+	}
+}
+
+// syncLogBuffer is a goroutine-safe bytes.Buffer for access-log capture.
+type syncLogBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncLogBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncLogBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestNotFoundIsJSON(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 1})
+	resp := doReq(t, "GET", ts.URL+"/no/such/route", "", "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("404 Content-Type = %q", ct)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || !strings.Contains(eb.Error, "/no/such/route") {
+		t.Fatalf("404 body: %v %+v", err, eb)
+	}
+}
+
+func TestAdminHandlerServesPprof(t *testing.T) {
+	s := New(Config{Workers: 1})
+	t.Cleanup(s.Close)
+	mux := s.AdminHandler()
+	for _, path := range []string{"/debug/pprof/", "/healthz", "/metrics"} {
+		req, _ := http.NewRequest("GET", path, nil)
+		rec := newRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.status != http.StatusOK {
+			t.Fatalf("admin %s: status %d", path, rec.status)
+		}
+	}
+	// The public handler does NOT expose pprof.
+	_, ts := startServer(t, Config{Workers: 1})
+	resp := doReq(t, "GET", ts.URL+"/debug/pprof/", "", "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("public pprof: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// newRecorder is a minimal ResponseWriter for direct mux calls.
+type recorder struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder            { return &recorder{header: http.Header{}, status: http.StatusOK} }
+func (r *recorder) Header() http.Header { return r.header }
+func (r *recorder) WriteHeader(s int)   { r.status = s }
+func (r *recorder) Write(p []byte) (int, error) {
+	return r.body.Write(p)
+}
+
+// TestDrainWhileBusy is the degradation contract: after BeginDrain, new
+// work is shed with 503 + Retry-After while in-flight batch jobs finish
+// and stay pollable, and Drain unblocks once they are all terminal.
+func TestDrainWhileBusy(t *testing.T) {
+	s, ts := startServer(t, Config{Workers: 2, QueueDepth: 8})
+	block := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s.solve = func(ps *parsedSolve) (*core.Alg1Result, error) {
+		started <- struct{}{}
+		<-block
+		return &core.Alg1Result{}, nil
+	}
+	mk := func(n int) SolveRequest {
+		return SolveRequest{Generator: &GeneratorSpec{Kind: "grid", N: n}}
+	}
+	var out struct {
+		Jobs []BatchEntry `json:"jobs"`
+	}
+	batch := BatchRequest{Requests: []SolveRequest{mk(25), mk(36)}}
+	if code := postJSON(t, ts.URL+"/v1/batch", &batch, &out); code != http.StatusAccepted {
+		t.Fatalf("batch status %d", code)
+	}
+	<-started
+	<-started
+
+	s.BeginDrain()
+
+	// New work is deterministically shed with 503 + Retry-After and a
+	// drain-specific message, while the daemon stays reachable.
+	resp := doReq(t, "POST", ts.URL+"/v1/solve", "", `{"generator":{"kind":"grid","n":49}}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("solve during drain: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drain 503 without Retry-After")
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || !strings.Contains(eb.Error, "draining") {
+		t.Fatalf("drain body: %v %+v", err, eb)
+	}
+	resp.Body.Close()
+
+	// In-flight jobs remain pollable mid-drain.
+	for _, entry := range out.Jobs {
+		var v JobView
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+entry.JobID, &v); code != http.StatusOK {
+			t.Fatalf("mid-drain poll: status %d", code)
+		}
+		if v.Status != StatusRunning {
+			t.Fatalf("mid-drain job %s status %s", entry.JobID, v.Status)
+		}
+	}
+	var hz map[string]any
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz["status"] != "draining" {
+		t.Fatalf("healthz during drain: %+v", hz)
+	}
+
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while jobs were still running")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(block)
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain never returned after jobs finished")
+	}
+	// Every accepted job completed; results still served post-drain.
+	for _, entry := range out.Jobs {
+		var v JobView
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+entry.JobID, &v); code != http.StatusOK || v.Status != StatusDone {
+			t.Fatalf("post-drain job %s: %d %s", entry.JobID, code, v.Status)
+		}
+	}
+}

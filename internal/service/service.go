@@ -10,21 +10,33 @@
 // LRU cache serves repeats, and concurrent identical requests are
 // deduplicated onto one in-flight job.
 //
+// Untrusted clients are bounded the same way untrusted graphs are: a
+// middleware chain (middleware.go) authenticates bearer tokens into
+// tenants, rate-limits and quota-bounds each tenant, tags every request
+// with an ID, and logs structured access records, while the submission
+// path sheds with deterministic statuses — 401 auth, 429 rate/quota with
+// Retry-After, 503 queue-full or draining with Retry-After, 504 timeout.
+//
 // Endpoints:
 //
 //	POST /v1/solve    — synchronous solve (enqueue + wait)
 //	POST /v1/batch    — enqueue many, return job IDs immediately
 //	GET  /v1/jobs/{id} — job status: queued/running/done with stage table
-//	GET  /healthz     — liveness + queue snapshot
+//	GET  /healthz     — liveness + queue snapshot (never authenticated)
 //	GET  /metrics     — Prometheus text: queue depth, cache hit/miss,
-//	                    per-stage latency totals
+//	                    per-stage latency totals, per-tenant outcomes
+//
+// AdminHandler serves /debug/pprof/* for a separate operator listener.
 package service
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -55,6 +67,22 @@ type Config struct {
 	PipelineWorkers int
 	// JobRetention caps remembered finished jobs; <= 0 selects 1024.
 	JobRetention int
+	// Tokens maps tenant names to bearer tokens (see LoadTokens). When
+	// empty, every request runs as the anonymous tenant; when set, /v1/*
+	// requires "Authorization: Bearer <token>" and unknown tokens are 401.
+	Tokens map[string]string
+	// RatePerSec is the per-tenant token-bucket refill rate; <= 0 disables
+	// rate limiting. Exhaustion is 429 with Retry-After.
+	RatePerSec float64
+	// RateBurst is the bucket capacity; <= 0 derives max(1, ceil(rate)).
+	RateBurst int
+	// MaxJobsPerTenant caps one tenant's queued+running jobs; <= 0 means
+	// unlimited. Exhaustion is 429 with Retry-After, distinct from the
+	// whole-daemon 503 load shed.
+	MaxJobsPerTenant int
+	// AccessLog receives one structured (JSON) log line per request when
+	// non-nil; requests are tagged with X-Request-Id either way.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +114,16 @@ type Server struct {
 	cancel   context.CancelFunc
 	inflight *inflightMap
 
+	// Hardening state: hashed credentials, per-tenant accounting, the
+	// drain gate, and observability plumbing (middleware.go).
+	tokenHashes  []tokenEntry
+	tenantsMu    sync.Mutex
+	tenants      map[string]*tenantState
+	draining     atomic.Bool
+	authFailures atomic.Int64
+	reqSeq       atomic.Uint64
+	logger       *slog.Logger
+
 	// Cache effectiveness counters. They live here rather than in
 	// resultCache because only the request router can classify a lookup:
 	// a hit serves the stored result, a miss becomes the leader of a
@@ -104,6 +142,14 @@ type Server struct {
 // deduplicated followers — maps the failure to HTTP 503.
 var errQueueFull = errors.New("queue full")
 
+// errDraining marks jobs rejected after drain started: still HTTP 503,
+// but the message tells clients the daemon is going away, not overloaded.
+var errDraining = errors.New("draining: not accepting new work")
+
+// errTenantQuota marks jobs rejected by a per-tenant job quota — HTTP 429
+// with Retry-After, distinct from whole-daemon load shedding.
+var errTenantQuota = errors.New("tenant job quota exhausted")
+
 // New starts a Server's worker pool and returns it.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
@@ -118,6 +164,13 @@ func New(cfg Config) *Server {
 		baseCtx:  ctx,
 		cancel:   cancel,
 		inflight: newInflightMap(),
+		tenants:  map[string]*tenantState{},
+	}
+	for name, token := range cfg.Tokens {
+		s.tokenHashes = append(s.tokenHashes, tokenEntry{name: name, sum: sha256.Sum256([]byte(token))})
+	}
+	if cfg.AccessLog != nil {
+		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
 	s.solve = func(ps *parsedSolve) (*core.Alg1Result, error) {
 		return core.Alg1Pipeline(ps.g, ps.params, core.PipelineOptions{Workers: s.cfg.PipelineWorkers})
@@ -125,13 +178,26 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// BeginDrain flips the server into draining mode: every new submission
+// is shed with 503 while accepted jobs keep running and /v1/jobs/{id}
+// keeps answering. It does not block; Drain does.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain/Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Drain stops accepting work and blocks until every accepted job has
-// finished — the SIGTERM path. The HTTP listener must already be closed
-// (or shutting down) so no new submissions race the drain.
-func (s *Server) Drain() { s.pool.Close() }
+// finished — the SIGTERM path. The HTTP listener may stay up throughout:
+// new submissions shed deterministically with 503 and finished jobs stay
+// pollable until the caller shuts the listener down.
+func (s *Server) Drain() {
+	s.BeginDrain()
+	s.pool.Close()
+}
 
 // Close aborts in-flight jobs via context cancellation, then drains.
 func (s *Server) Close() {
+	s.BeginDrain()
 	s.cancel()
 	s.pool.Close()
 }
@@ -141,35 +207,69 @@ func (s *Server) Close() {
 // Tests assert on it to prove a cache hit skips recompute.
 func (s *Server) Computations() int64 { return s.stages.Computations() }
 
+// submitRejection classifies why submit refused a solve, so handlers map
+// it to the right deterministic status code.
+type submitRejection int
+
+const (
+	rejectNone  submitRejection = iota
+	rejectShed                  // queue full or draining → 503 + Retry-After
+	rejectQuota                 // per-tenant job quota → 429 + Retry-After
+)
+
 // submit routes one parsed solve: cache hit → immediately-done job;
 // identical in-flight request → join its job; otherwise a fresh job on
-// the queue. queueFull is reported when the pool sheds the job.
-func (s *Server) submit(ps *parsedSolve) (j *Job, queueFull bool) {
+// the queue, counted against the tenant's quota until it terminates.
+// tn may be nil (no quota accounting, e.g. internal callers).
+func (s *Server) submit(ps *parsedSolve, tn *tenantState) (j *Job, rej submitRejection) {
+	if s.draining.Load() {
+		j := s.jobs.create(ps.source, false)
+		j.finish(nil, errDraining)
+		s.jobs.recordTerminal(StatusFailed)
+		if tn != nil {
+			tn.shed.Add(1)
+		}
+		return j, rejectShed
+	}
 	if out, ok := s.cache.get(ps.key); ok {
 		s.cacheHits.Add(1)
 		j := s.jobs.create(ps.source, true)
 		j.finish(out, nil)
 		s.jobs.recordTerminal(StatusDone)
-		return j, false
+		return j, rejectNone
 	}
 	// Deduplicate concurrent identical requests onto one in-flight job.
 	j, leader := s.inflight.join(ps.key, func() *Job { return s.jobs.create(ps.source, false) })
 	if !leader {
 		s.cacheDedups.Add(1)
-		return j, false
+		return j, rejectNone
 	}
 	s.cacheMisses.Add(1)
+	if tn != nil && !tn.tryAcquireJob() {
+		s.inflight.leave(ps.key)
+		j.finish(nil, fmt.Errorf("%w: tenant %q already has %d jobs in flight", errTenantQuota, tn.name, tn.maxJobs))
+		s.jobs.recordTerminal(StatusFailed)
+		tn.quotaRejected.Add(1)
+		return j, rejectQuota
+	}
 	accepted := s.pool.TrySubmit(func() {
 		defer s.inflight.leave(ps.key)
+		if tn != nil {
+			defer tn.releaseJob()
+		}
 		s.runJob(j, ps)
 	})
 	if !accepted {
 		s.inflight.leave(ps.key)
+		if tn != nil {
+			tn.releaseJob()
+			tn.shed.Add(1)
+		}
 		j.finish(nil, fmt.Errorf("%w (%d jobs pending)", errQueueFull, s.pool.Pending()))
 		s.jobs.recordTerminal(StatusFailed)
-		return j, true
+		return j, rejectShed
 	}
-	return j, false
+	return j, rejectNone
 }
 
 // runJob executes one queued solve on a pool worker.
@@ -228,7 +328,10 @@ func (m *inflightMap) leave(key solveKey) {
 	m.mu.Unlock()
 }
 
-// Handler returns the service's HTTP mux.
+// Handler returns the service's HTTP stack: route mux wrapped by the
+// client gate (auth + rate limiting on /v1/*) wrapped by the
+// observability layer (request IDs + access logging) — podman-style
+// middleware ordering, outermost first.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -236,7 +339,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("/", s.handleNotFound)
+	return s.observe(s.guard(mux))
 }
 
 // writeJSON emits one JSON response.
