@@ -136,6 +136,7 @@ func run(args []string, stdout io.Writer) error {
 			ReadHeaderTimeout: headerTimeout,
 			IdleTimeout:       *idleTimeout,
 		}
+		//mdsvet:ignore boundedgo -- one accept-loop goroutine per process lifetime for the admin listener, not request-scoped
 		go func() { _ = adminSrv.Serve(adminLn) }()
 		fmt.Fprintf(stdout, "mdsd: admin on %s\n", adminLn.Addr())
 	}
@@ -144,6 +145,7 @@ func run(args []string, stdout io.Writer) error {
 	defer stop()
 
 	serveErr := make(chan error, 1)
+	//mdsvet:ignore boundedgo -- one accept-loop goroutine per process lifetime; request concurrency is bounded inside the service by runner.Pool
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(stdout, "mdsd: listening on %s\n", ln.Addr())
 

@@ -1,0 +1,131 @@
+// Command mdsvet is the repo's static-analysis gate: the custom
+// determinism/service-invariant analyzers from internal/analysis
+// (mapiter, seedflow, errpath, boundedgo, edgesiter, directivecheck)
+// bundled with the stock go-vet passes, run over the whole module.
+//
+// Usage:
+//
+//	go run ./cmd/mdsvet ./...
+//
+// With package patterns, mdsvet re-executes itself through
+// `go vet -vettool=<self> <patterns>`, which handles loading, export
+// data, and fact propagation; invoked by the go command it speaks the
+// unitchecker vettool protocol. Exit status is nonzero on any finding,
+// which is what CI enforces.
+//
+// The stock nilness and shadow passes are not bundled: this build runs
+// against the x/tools subset vendored from the Go toolchain (the only
+// copy available offline), which does not ship them. The vendored
+// passes below are the full go-vet suite plus appends/defers/slog etc.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/appends"
+	"golang.org/x/tools/go/analysis/passes/asmdecl"
+	"golang.org/x/tools/go/analysis/passes/assign"
+	"golang.org/x/tools/go/analysis/passes/atomic"
+	"golang.org/x/tools/go/analysis/passes/bools"
+	"golang.org/x/tools/go/analysis/passes/buildtag"
+	"golang.org/x/tools/go/analysis/passes/composite"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+	"golang.org/x/tools/go/analysis/passes/defers"
+	"golang.org/x/tools/go/analysis/passes/directive"
+	"golang.org/x/tools/go/analysis/passes/errorsas"
+	"golang.org/x/tools/go/analysis/passes/httpresponse"
+	"golang.org/x/tools/go/analysis/passes/ifaceassert"
+	"golang.org/x/tools/go/analysis/passes/loopclosure"
+	"golang.org/x/tools/go/analysis/passes/lostcancel"
+	"golang.org/x/tools/go/analysis/passes/nilfunc"
+	"golang.org/x/tools/go/analysis/passes/printf"
+	"golang.org/x/tools/go/analysis/passes/shift"
+	"golang.org/x/tools/go/analysis/passes/sigchanyzer"
+	"golang.org/x/tools/go/analysis/passes/slog"
+	"golang.org/x/tools/go/analysis/passes/stdmethods"
+	"golang.org/x/tools/go/analysis/passes/stringintconv"
+	"golang.org/x/tools/go/analysis/passes/structtag"
+	"golang.org/x/tools/go/analysis/passes/testinggoroutine"
+	"golang.org/x/tools/go/analysis/passes/tests"
+	"golang.org/x/tools/go/analysis/passes/timeformat"
+	"golang.org/x/tools/go/analysis/passes/unmarshal"
+	"golang.org/x/tools/go/analysis/passes/unreachable"
+	"golang.org/x/tools/go/analysis/passes/unsafeptr"
+	"golang.org/x/tools/go/analysis/passes/unusedresult"
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"localmds/internal/analysis"
+)
+
+// suite is every analyzer mdsvet runs: the repo-specific invariants
+// first, then the stock correctness passes.
+func suite() []*goanalysis.Analyzer {
+	return append(analysis.Analyzers(),
+		appends.Analyzer,
+		asmdecl.Analyzer,
+		assign.Analyzer,
+		atomic.Analyzer,
+		bools.Analyzer,
+		buildtag.Analyzer,
+		composite.Analyzer,
+		copylock.Analyzer,
+		defers.Analyzer,
+		directive.Analyzer,
+		errorsas.Analyzer,
+		httpresponse.Analyzer,
+		ifaceassert.Analyzer,
+		loopclosure.Analyzer,
+		lostcancel.Analyzer,
+		nilfunc.Analyzer,
+		printf.Analyzer,
+		shift.Analyzer,
+		sigchanyzer.Analyzer,
+		slog.Analyzer,
+		stdmethods.Analyzer,
+		stringintconv.Analyzer,
+		structtag.Analyzer,
+		testinggoroutine.Analyzer,
+		tests.Analyzer,
+		timeformat.Analyzer,
+		unmarshal.Analyzer,
+		unreachable.Analyzer,
+		unsafeptr.Analyzer,
+		unusedresult.Analyzer,
+	)
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mdsvet <package patterns>   (e.g. mdsvet ./...)")
+		os.Exit(2)
+	}
+	// Invoked by the go command as a vettool (flags or a *.cfg unit
+	// file): speak the unitchecker protocol. unitchecker.Main never
+	// returns.
+	if strings.HasPrefix(args[0], "-") || strings.HasSuffix(args[0], ".cfg") {
+		unitchecker.Main(suite()...)
+	}
+	// Invoked with package patterns: delegate loading to the go
+	// command, pointing vet back at this very binary.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdsvet: cannot locate own binary: %v\n", err)
+		os.Exit(2)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "mdsvet: %v\n", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,49 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"localmds/internal/analysis"
+	"localmds/internal/analysis/atest"
+)
+
+// all is scope="": testdata packages have short paths like "mapiter",
+// so tests open the scope gate and verify it separately in the *Scope
+// tests below.
+var all = map[string]string{"scope": ""}
+
+func TestMapIter(t *testing.T)   { atest.Run(t, analysis.MapIter, "mapiter", all) }
+func TestSeedFlow(t *testing.T)  { atest.Run(t, analysis.SeedFlow, "seedflow", all) }
+func TestErrPath(t *testing.T)   { atest.Run(t, analysis.ErrPath, "errpath", all) }
+func TestBoundedGo(t *testing.T) { atest.Run(t, analysis.BoundedGo, "boundedgo", all) }
+func TestEdgesIter(t *testing.T) { atest.Run(t, analysis.EdgesIter, "edgesiter", all) }
+
+// DirectiveCheck has no scope flag: it validates directives everywhere.
+func TestDirectiveCheck(t *testing.T) {
+	atest.Run(t, analysis.DirectiveCheck, "directivecheck", nil)
+}
+
+// TestScopeGate runs mapiter over a package full of violations with a
+// scope that excludes it: no want comments, so any diagnostic fails.
+func TestScopeGate(t *testing.T) {
+	atest.Run(t, analysis.MapIter, "scoped",
+		map[string]string{"scope": "localmds/internal/core"})
+}
+
+// TestScopeDefaultsNonEmpty guards against an analyzer accidentally
+// shipping with an empty (match-everything) default scope.
+func TestScopeDefaultsNonEmpty(t *testing.T) {
+	for _, a := range analysis.Analyzers() {
+		if a.Name == "directivecheck" {
+			continue // global by design
+		}
+		f := a.Flags.Lookup("scope")
+		if f == nil {
+			t.Errorf("%s: no scope flag", a.Name)
+			continue
+		}
+		if f.Value.String() == "" {
+			t.Errorf("%s: default scope is empty (would check the whole build)", a.Name)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package atest is a minimal, offline stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it loads a testdata
+// package with go/parser + go/types (source importer, no network, no
+// export data), runs one analyzer over it, and checks the reported
+// diagnostics against analysistest-style "// want" comments.
+//
+// The real analysistest depends on go/packages, which is not part of
+// the x/tools subset the Go toolchain vendors (the only x/tools copy
+// available in this repo's offline build). The subset of behavior the
+// analyzer tests rely on is identical:
+//
+//   - a comment `// want "re1" "re2"` (double-quoted or backquoted Go
+//     string literals holding regexps) expects exactly one diagnostic
+//     per literal on that comment's line;
+//   - every diagnostic must match a want, every want must be matched;
+//   - the marker may appear embedded at the end of another comment,
+//     which lets directives themselves carry expectations.
+package atest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+)
+
+// sharedFset is one FileSet for every load in the test binary: the
+// source importer caches typechecked stdlib packages against it, so
+// net/http is only typechecked once across all analyzer tests.
+var (
+	sharedFset     = token.NewFileSet()
+	sharedImporter = importer.ForCompiler(sharedFset, "source", nil)
+	loadMu         sync.Mutex
+)
+
+// Run loads testdata/src/<pkg> relative to the caller's directory,
+// applies the given analyzer flags (restoring them afterwards), runs
+// the analyzer, and compares diagnostics against the package's want
+// comments.
+func Run(t *testing.T, a *goanalysis.Analyzer, pkg string, flags map[string]string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	files, fset := parseDir(t, dir)
+	info := newInfo()
+	conf := types.Config{Importer: sharedImporter}
+	loadMu.Lock()
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	loadMu.Unlock()
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+
+	restore := setFlags(t, a, flags)
+	defer restore()
+
+	var diags []goanalysis.Diagnostic
+	pass := &goanalysis.Pass{
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*goanalysis.Analyzer]any{},
+		Report:     func(d goanalysis.Diagnostic) { diags = append(diags, d) },
+	}
+	runWithRequires(t, a, pass)
+
+	checkDiagnostics(t, fset, files, diags)
+}
+
+func parseDir(t *testing.T, dir string) ([]*ast.File, *token.FileSet) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read testdata dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	return files, sharedFset
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+}
+
+// setFlags applies flag overrides and returns a restorer.
+func setFlags(t *testing.T, a *goanalysis.Analyzer, flags map[string]string) func() {
+	t.Helper()
+	old := map[string]string{}
+	for name, val := range flags {
+		f := a.Flags.Lookup(name)
+		if f == nil {
+			t.Fatalf("analyzer %s has no flag %q", a.Name, name)
+		}
+		old[name] = f.Value.String()
+		if err := f.Value.Set(val); err != nil {
+			t.Fatalf("set -%s.%s=%q: %v", a.Name, name, val, err)
+		}
+	}
+	return func() {
+		for name, val := range old {
+			_ = a.Flags.Lookup(name).Value.Set(val)
+		}
+	}
+}
+
+// runWithRequires runs the analyzer's Requires closure in dependency
+// order (facts are not supported — none of the repo's analyzers use
+// them), then the analyzer itself, all sharing one pass skeleton.
+func runWithRequires(t *testing.T, a *goanalysis.Analyzer, pass *goanalysis.Pass) {
+	t.Helper()
+	var run func(dep *goanalysis.Analyzer, report bool)
+	run = func(dep *goanalysis.Analyzer, report bool) {
+		if _, done := pass.ResultOf[dep]; done {
+			return
+		}
+		for _, sub := range dep.Requires {
+			run(sub, false)
+		}
+		p := *pass
+		p.Analyzer = dep
+		if !report {
+			p.Report = func(goanalysis.Diagnostic) {}
+		}
+		res, err := dep.Run(&p)
+		if err != nil {
+			t.Fatalf("analyzer %s: %v", dep.Name, err)
+		}
+		pass.ResultOf[dep] = res
+	}
+	run(a, true)
+}
+
+// wantExpectation is one "// want" regexp at a source line.
+type wantExpectation struct {
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+// stringLitRe extracts Go string literals (double- or back-quoted)
+// following a want marker.
+var stringLitRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants scans every comment for the `// want` marker.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string]map[int][]*wantExpectation {
+	t.Helper()
+	wants := map[string]map[int][]*wantExpectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				rest := c.Text[idx+len("// want "):]
+				lits := stringLitRe.FindAllString(rest, -1)
+				if len(lits) == 0 {
+					t.Errorf("%s: want marker with no string literals", fset.Position(c.Pos()))
+					continue
+				}
+				p := fset.Position(c.Pos())
+				m := wants[p.Filename]
+				if m == nil {
+					m = map[int][]*wantExpectation{}
+					wants[p.Filename] = m
+				}
+				for _, lit := range lits {
+					var s string
+					var err error
+					if lit[0] == '`' {
+						s = lit[1 : len(lit)-1]
+					} else if s, err = strconv.Unquote(lit); err != nil {
+						t.Errorf("%s: bad want literal %s: %v", p, lit, err)
+						continue
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", p, s, err)
+						continue
+					}
+					m[p.Line] = append(m[p.Line], &wantExpectation{re: re, raw: s})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkDiagnostics(t *testing.T, fset *token.FileSet, files []*ast.File, diags []goanalysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants[p.Filename][p.Line] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	for file, byLine := range wants {
+		for line, ws := range byLine {
+			for _, w := range ws {
+				if !w.used {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", file, line, w.raw)
+				}
+			}
+		}
+	}
+}

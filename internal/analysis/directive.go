@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+)
+
+// directivePrefix introduces a suppression comment. The full grammar is
+//
+//	//mdsvet:ignore <name> [<name>...] -- <reason>
+//
+// where each <name> is an analyzer name and <reason> is free nonempty
+// text. A directive suppresses findings of the named analyzers on its
+// own line and on the line immediately below, so it works both trailing
+// the offending statement and standing alone above it.
+const directivePrefix = "mdsvet:ignore"
+
+// ignoreDirective is one parsed //mdsvet:ignore comment.
+type ignoreDirective struct {
+	names  []string // analyzers silenced; empty when malformed
+	reason string
+	// malformed explains why the directive is invalid ("" when valid).
+	// Malformed directives suppress nothing: a bare ignore must not
+	// have the power of a justified one.
+	malformed string
+	pos       token.Pos
+	file      string
+	line      int
+}
+
+// parseIgnoreDirective parses the text of one comment (without the
+// leading "//"). Returns nil if the comment is not an mdsvet directive
+// at all.
+func parseIgnoreDirective(text string) *ignoreDirective {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return nil
+	}
+	rest := text[len(directivePrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. "mdsvet:ignorexyz" — some other token.
+		return nil
+	}
+	d := &ignoreDirective{}
+	names, reason, found := strings.Cut(rest, "--")
+	if !found {
+		d.malformed = `missing "-- reason" justification`
+		return d
+	}
+	d.names = strings.Fields(names)
+	if len(d.names) == 0 {
+		d.malformed = `missing analyzer name before "--"`
+		return d
+	}
+	d.reason = strings.TrimSpace(reason)
+	if d.reason == "" {
+		d.malformed = `empty justification after "--"`
+		return d
+	}
+	return d
+}
+
+// ignoreIndex holds every directive of one pass, keyed by file and line.
+type ignoreIndex struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> directives covering that line.
+	byLine map[string]map[int][]*ignoreDirective
+	all    []*ignoreDirective
+}
+
+// newIgnoreIndex scans all files of the pass for mdsvet directives.
+func newIgnoreIndex(pass *goanalysis.Pass) *ignoreIndex {
+	ix := &ignoreIndex{fset: pass.Fset, byLine: map[string]map[int][]*ignoreDirective{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments are never directives
+				}
+				d := parseIgnoreDirective(text)
+				if d == nil {
+					continue
+				}
+				p := pass.Fset.Position(c.Slash)
+				d.pos, d.file, d.line = c.Slash, p.Filename, p.Line
+				ix.add(d, d.line)
+				ix.add(d, d.line+1)
+				ix.all = append(ix.all, d)
+			}
+		}
+	}
+	return ix
+}
+
+func (ix *ignoreIndex) add(d *ignoreDirective, line int) {
+	m := ix.byLine[d.file]
+	if m == nil {
+		m = map[int][]*ignoreDirective{}
+		ix.byLine[d.file] = m
+	}
+	m[line] = append(m[line], d)
+}
+
+// suppressed reports whether a valid directive covering pos names the
+// analyzer.
+func (ix *ignoreIndex) suppressed(analyzer string, pos token.Pos) bool {
+	p := ix.fset.Position(pos)
+	for _, d := range ix.byLine[p.Filename][p.Line] {
+		if d.malformed != "" {
+			continue
+		}
+		for _, n := range d.names {
+			if n == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// report emits a diagnostic unless a directive suppresses it or the
+// position is in a test file.
+func (ix *ignoreIndex) report(pass *goanalysis.Pass, analyzer string, pos token.Pos, msg string) {
+	if inTestFile(pass, pos) || ix.suppressed(analyzer, pos) {
+		return
+	}
+	pass.Reportf(pos, "%s", msg)
+}
+
+// inTestFile reports whether pos lies in a *_test.go file. The repo's
+// invariants guard production solver/daemon paths; tests may use ad-hoc
+// randomness and raw goroutines freely.
+func inTestFile(pass *goanalysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// enclosingFunc returns the innermost function literal or declaration
+// body in stack containing the node, along with its name ("" for
+// literals).
+func enclosingFunc(stack []ast.Node) (body *ast.BlockStmt, name string) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return fn.Body, ""
+		case *ast.FuncDecl:
+			return fn.Body, fn.Name.Name
+		}
+	}
+	return nil, ""
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import "testing"
+
+// TestParseIgnoreDirective covers the directive grammar edge cases that
+// the analysistest-style testdata cannot express (an empty-reason
+// directive cannot carry an embedded want marker without becoming
+// non-empty).
+func TestParseIgnoreDirective(t *testing.T) {
+	cases := []struct {
+		name      string
+		text      string // comment text without leading //
+		wantNil   bool
+		wantNames []string
+		malformed bool
+	}{
+		{name: "not a directive", text: "plain comment", wantNil: true},
+		{name: "other token", text: "mdsvet:ignorexyz stuff", wantNil: true},
+		{name: "valid", text: "mdsvet:ignore mapiter -- sorted by caller",
+			wantNames: []string{"mapiter"}},
+		{name: "valid multi", text: "mdsvet:ignore mapiter seedflow -- both fine here",
+			wantNames: []string{"mapiter", "seedflow"}},
+		{name: "bare", text: "mdsvet:ignore mapiter", malformed: true},
+		{name: "no names", text: "mdsvet:ignore -- reason only", malformed: true},
+		{name: "empty reason", text: "mdsvet:ignore mapiter --", malformed: true},
+		{name: "whitespace reason", text: "mdsvet:ignore mapiter --   \t",
+			malformed: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := parseIgnoreDirective(tc.text)
+			if tc.wantNil {
+				if d != nil {
+					t.Fatalf("parse(%q) = %+v, want nil", tc.text, d)
+				}
+				return
+			}
+			if d == nil {
+				t.Fatalf("parse(%q) = nil, want directive", tc.text)
+			}
+			if tc.malformed != (d.malformed != "") {
+				t.Fatalf("parse(%q): malformed = %q, want malformed=%v",
+					tc.text, d.malformed, tc.malformed)
+			}
+			if !tc.malformed {
+				if len(d.names) != len(tc.wantNames) {
+					t.Fatalf("parse(%q): names = %v, want %v", tc.text, d.names, tc.wantNames)
+				}
+				for i := range d.names {
+					if d.names[i] != tc.wantNames[i] {
+						t.Fatalf("parse(%q): names = %v, want %v", tc.text, d.names, tc.wantNames)
+					}
+				}
+			}
+		})
+	}
+}

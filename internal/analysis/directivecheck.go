@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	goanalysis "golang.org/x/tools/go/analysis"
+)
+
+// DirectiveCheck keeps the suppression mechanism itself honest. A
+// //mdsvet:ignore comment must name at least one known analyzer and
+// carry a "-- reason" justification; bare ignores are rejected (and,
+// because malformed directives never suppress anything, rejecting them
+// is safe — the underlying finding still fires). It also flags
+// directives naming analyzers that do not exist, which are usually
+// typos silently suppressing nothing.
+var DirectiveCheck = &goanalysis.Analyzer{
+	Name: "directivecheck",
+	Doc:  "validate //mdsvet:ignore suppression directives",
+}
+
+// Run is attached in init: runDirectiveCheck consults Analyzers() for
+// the set of valid names, which includes DirectiveCheck itself.
+func init() {
+	DirectiveCheck.Run = runDirectiveCheck
+}
+
+func runDirectiveCheck(pass *goanalysis.Pass) (any, error) {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	ix := newIgnoreIndex(pass)
+	for _, d := range ix.all {
+		if inTestFile(pass, d.pos) {
+			continue
+		}
+		if d.malformed != "" {
+			pass.Reportf(d.pos, "malformed //mdsvet:ignore directive: %s "+
+				"(want //mdsvet:ignore <analyzer> -- <reason>)", d.malformed)
+			continue
+		}
+		for _, name := range d.names {
+			if !known[name] {
+				pass.Reportf(d.pos, "//mdsvet:ignore names unknown analyzer %q", name)
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,31 @@
+// Package analysis holds the repo-specific static analyzers behind
+// cmd/mdsvet. Every headline guarantee this reproduction makes —
+// byte-identical experiment tables at any -parallel, pipeline/sequential
+// output identity, content-addressed cache correctness keyed by
+// graph.Fingerprint, and the daemon's deterministic rejection taxonomy —
+// rests on coding rules that used to be enforced by hand. The analyzers
+// turn those rules into machine-checked invariants:
+//
+//   - mapiter: no order-sensitive `for range` over maps in the
+//     deterministic solver packages.
+//   - seedflow: all randomness is seeded through gen.DeriveSeed /
+//     experiments.TaskSeed; no global math/rand state, no clock seeds.
+//   - errpath: internal/service handlers route every response through
+//     the central writeJSON writer so the rejection taxonomy cannot be
+//     bypassed.
+//   - boundedgo: no unbounded `go` launches outside runner.Pool in
+//     daemon/solver code, and no quota/semaphore acquire without a
+//     matching release in the same function.
+//   - edgesiter: no allocation-heavy Graph.Edges() calls in hot paths
+//     (use VisitEdges/AppendEdges).
+//   - directivecheck: every //mdsvet:ignore suppression names the
+//     analyzer it silences and carries a written justification.
+//
+// A finding that is genuinely intended can be suppressed with
+//
+//	//mdsvet:ignore <analyzer> -- <reason>
+//
+// placed on the offending line or on its own line immediately above.
+// Bare ignores (missing analyzer name or missing "-- reason") never
+// suppress anything and are themselves flagged by directivecheck.
+package analysis

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// EdgesIter guards against regressions to the pre-pipeline Edges()
+// iteration pattern: Graph.Edges() materializes an O(m) [][2]int per
+// call, which PR 3 eliminated from hot paths in favor of the
+// allocation-free VisitEdges. It flags calls to a
+// zero-argument method named Edges on the graph types (Graph, CSR) in
+// the solver and service packages.
+var EdgesIter = &goanalysis.Analyzer{
+	Name:     "edgesiter",
+	Doc:      "flag allocation-heavy Graph.Edges() calls in hot paths",
+	Requires: []*goanalysis.Analyzer{inspect.Analyzer},
+	Run:      runEdgesIter,
+}
+
+func init() {
+	EdgesIter.Flags.String("scope", hotPathPkgs,
+		"comma-separated package-path prefixes to check (empty = all)")
+}
+
+// edgeOwnerTypes are the named types whose Edges method allocates the
+// full edge list. Matched by type name so analyzer testdata can declare
+// stand-ins.
+var edgeOwnerTypes = map[string]bool{"Graph": true, "CSR": true}
+
+func runEdgesIter(pass *goanalysis.Pass) (any, error) {
+	scope := pass.Analyzer.Flags.Lookup("scope").Value.String()
+	if !inScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ix := newIgnoreIndex(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Edges" || len(call.Args) != 0 {
+			return
+		}
+		t := pass.TypesInfo.TypeOf(sel.X)
+		if t == nil {
+			return
+		}
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || !edgeOwnerTypes[named.Obj().Name()] {
+			return
+		}
+		ix.report(pass, "edgesiter", call.Pos(),
+			named.Obj().Name()+".Edges() allocates the whole edge list; use "+
+				"VisitEdges in hot paths, or add //mdsvet:ignore edgesiter -- <reason>")
+	})
+	return nil, nil
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// ErrPath protects the daemon's deterministic rejection taxonomy: every
+// HTTP response in internal/service must go through the central writers
+// (writeJSON and the error helpers built on it) so that status codes,
+// Retry-After headers, and JSON error bodies stay uniform. It flags, in
+// any other function:
+//
+//   - direct w.WriteHeader(...) on an http.ResponseWriter;
+//   - http.Error(...);
+//   - json.NewEncoder(w).Encode(...) straight onto a ResponseWriter.
+//
+// Functions named in -errpath.writers (plus any method itself named
+// WriteHeader, i.e. a ResponseWriter implementation such as the
+// middleware's statusRecorder) are the sanctioned writers.
+var ErrPath = &goanalysis.Analyzer{
+	Name:     "errpath",
+	Doc:      "flag HTTP responses written outside the central service writers",
+	Requires: []*goanalysis.Analyzer{inspect.Analyzer},
+	Run:      runErrPath,
+}
+
+func init() {
+	ErrPath.Flags.String("scope", serviceScope,
+		"comma-separated package-path prefixes to check (empty = all)")
+	ErrPath.Flags.String("writers", "writeJSON",
+		"comma-separated function names allowed to write responses directly")
+}
+
+func runErrPath(pass *goanalysis.Pass) (any, error) {
+	scope := pass.Analyzer.Flags.Lookup("scope").Value.String()
+	if !inScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	writers := map[string]bool{"WriteHeader": true}
+	for _, w := range strings.Split(pass.Analyzer.Flags.Lookup("writers").Value.String(), ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			writers[w] = true
+		}
+	}
+	ix := newIgnoreIndex(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		if _, fname := enclosingFunc(stack); writers[fname] {
+			return true
+		}
+		switch {
+		case isHTTPError(pass, call):
+			ix.report(pass, "errpath", call.Pos(),
+				"http.Error bypasses the service's central error writer; route "+
+					"rejections through writeJSON so the taxonomy stays deterministic")
+		case isDirectWriteHeader(pass, call):
+			ix.report(pass, "errpath", call.Pos(),
+				"direct WriteHeader on an http.ResponseWriter outside the central "+
+					"writers; use writeJSON (or add //mdsvet:ignore errpath -- <reason>)")
+		case isDirectEncode(pass, call):
+			ix.report(pass, "errpath", call.Pos(),
+				"json.NewEncoder(w).Encode writes a response outside the central "+
+					"writers; use writeJSON")
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// isHTTPError matches net/http.Error(...).
+func isHTTPError(pass *goanalysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "net/http" &&
+		fn.Name() == "Error" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isDirectWriteHeader matches x.WriteHeader(...) where x satisfies
+// http.ResponseWriter.
+func isDirectWriteHeader(pass *goanalysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" {
+		return false
+	}
+	return isResponseWriter(pass, pass.TypesInfo.TypeOf(sel.X))
+}
+
+// isDirectEncode matches json.NewEncoder(w).Encode(...) with w an
+// http.ResponseWriter.
+func isDirectEncode(pass *goanalysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Encode" {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass, inner)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" || fn.Name() != "NewEncoder" {
+		return false
+	}
+	return len(inner.Args) == 1 && isResponseWriter(pass, pass.TypesInfo.TypeOf(inner.Args[0]))
+}
+
+// isResponseWriter reports whether t satisfies net/http.ResponseWriter.
+// The interface is looked up in the checked package's imports, so the
+// check degrades to false in packages that never import net/http.
+func isResponseWriter(pass *goanalysis.Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface := responseWriterIface(pass)
+	return iface != nil && types.Implements(t, iface)
+}
+
+func responseWriterIface(pass *goanalysis.Pass) *types.Interface {
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Path() != "net/http" {
+			continue
+		}
+		obj := imp.Scope().Lookup("ResponseWriter")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import goanalysis "golang.org/x/tools/go/analysis"
+
+// Analyzers returns the repo-specific suite in a stable order. The
+// cmd/mdsvet driver bundles these with the stock x/tools passes.
+func Analyzers() []*goanalysis.Analyzer {
+	return []*goanalysis.Analyzer{
+		MapIter,
+		SeedFlow,
+		ErrPath,
+		BoundedGo,
+		EdgesIter,
+		DirectiveCheck,
+	}
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import "strings"
+
+// Default scopes. Analyzer scopes are comma-separated package-path
+// prefixes exposed as a -<analyzer>.scope flag so the driver, CI, and
+// tests all agree on where an invariant applies. The empty string means
+// "every package" (used by the analysistest harness, whose synthetic
+// packages have arbitrary paths).
+const (
+	// deterministicPkgs are the solver packages whose outputs must be
+	// bit-identical across runs, worker counts, and Go versions.
+	deterministicPkgs = "localmds/internal/core,localmds/internal/mds," +
+		"localmds/internal/cuts,localmds/internal/graph,localmds/internal/gen," +
+		"localmds/internal/experiments,localmds/internal/spqr,localmds/internal/ding"
+
+	// seedScope adds the packages that construct RNGs on behalf of the
+	// solvers: the sweep orchestrator and the daemon's request parser.
+	seedScope = deterministicPkgs + ",localmds/internal/local," +
+		"localmds/internal/runner,localmds/internal/service"
+
+	// serviceScope is where the deterministic HTTP rejection taxonomy
+	// lives.
+	serviceScope = "localmds/internal/service"
+
+	// goroutineScope is the daemon/solver code where every goroutine
+	// must come from a bounded pool. internal/runner is deliberately
+	// absent: it implements the sanctioned pool primitives.
+	goroutineScope = "localmds/internal/core,localmds/internal/mds," +
+		"localmds/internal/local,localmds/internal/service,localmds/cmd/mdsd"
+
+	// hotPathPkgs is where allocation-heavy Graph.Edges() calls are
+	// banned in favor of VisitEdges/AppendEdges.
+	hotPathPkgs = deterministicPkgs + ",localmds/internal/local,localmds/internal/service"
+)
+
+// inScope reports whether pkgPath falls under the comma-separated list
+// of package-path prefixes. An empty list matches everything; an entry
+// matches its own package and any subpackage.
+func inScope(scopeCSV, pkgPath string) bool {
+	if scopeCSV == "" {
+		return true
+	}
+	for _, p := range strings.Split(scopeCSV, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// SeedFlow enforces the repo's seed-derivation discipline in solver and
+// experiment code: all randomness must flow from gen.DeriveSeed /
+// experiments.TaskSeed (FNV-derived per-(experiment,row,replicate)
+// streams) so that sweeps are byte-identical at any -parallel and
+// results are cacheable by (seed, params). It flags:
+//
+//   - any use of math/rand's global source (rand.Intn, rand.Seed, ...);
+//   - clock-derived seeds (time.Now().UnixNano() and friends);
+//   - rand.NewSource(x) / rand.New(rand.NewSource(x)) where x does not
+//     trace back to a sanctioned origin: a DeriveSeed/TaskSeed call, a
+//     function parameter (the caller is checked in turn), a field or
+//     variable named like a seed, or arithmetic over those.
+//
+// Hardcoded literal seeds outside tests are flagged too: a constant
+// stream shared by two call sites silently correlates their workloads.
+var SeedFlow = &goanalysis.Analyzer{
+	Name:     "seedflow",
+	Doc:      "flag randomness that bypasses gen.DeriveSeed/experiments.TaskSeed",
+	Requires: []*goanalysis.Analyzer{inspect.Analyzer},
+	Run:      runSeedFlow,
+}
+
+func init() {
+	SeedFlow.Flags.String("scope", seedScope,
+		"comma-separated package-path prefixes to check (empty = all)")
+}
+
+// seedProducers are the sanctioned derivation functions, matched by
+// name: gen.DeriveSeed and experiments.TaskSeed in the real tree, and
+// same-named stand-ins in analyzer testdata.
+var seedProducers = map[string]bool{"DeriveSeed": true, "TaskSeed": true}
+
+func runSeedFlow(pass *goanalysis.Pass) (any, error) {
+	scope := pass.Analyzer.Flags.Lookup("scope").Value.String()
+	if !inScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ix := newIgnoreIndex(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkgPath, name := fn.Pkg().Path(), fn.Name()
+		if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+			return true
+		}
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return true // methods on an explicit *rand.Rand are fine
+		}
+		switch name {
+		case "New", "NewZipf":
+			return true // judged via their NewSource argument
+		case "NewSource":
+			if len(call.Args) == 1 && !sanctionedSeed(pass, call.Args[0], stack) {
+				ix.report(pass, "seedflow", call.Pos(),
+					"rand.NewSource seed does not flow from DeriveSeed/TaskSeed; "+
+						"derive it (gen.DeriveSeed / experiments.TaskSeed) or add "+
+						"//mdsvet:ignore seedflow -- <reason>")
+			}
+			return true
+		default:
+			// Any other package-level math/rand function uses the global,
+			// racily-shared, non-replayable source.
+			ix.report(pass, "seedflow", call.Pos(),
+				"use of math/rand global source ("+name+"): solver/experiment "+
+					"randomness must come from an explicit rand.New(rand.NewSource(seed)) "+
+					"with a derived seed")
+			return true
+		}
+	})
+	// Clock-derived seeds are flagged wherever they appear in scope:
+	// there is no legitimate UnixNano in solver code (durations use
+	// time.Since / wall-clock math stays on time.Time).
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if isClockSeed(pass, call) {
+			ix.report(pass, "seedflow", call.Pos(),
+				"clock-derived value (time.Now()."+clockMethod(call)+"): seeds must be "+
+					"derived from DeriveSeed/TaskSeed, not wall time")
+		}
+	})
+	return nil, nil
+}
+
+// calleeFunc resolves the called *types.Func, or nil.
+func calleeFunc(pass *goanalysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.ObjectOf(fun.Sel).(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.ObjectOf(fun).(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// sanctionedSeed reports whether the expression provably originates from
+// the seed-derivation chain. The trace is intraprocedural: function
+// parameters are trusted here because every *caller* in scope is checked
+// by the same analyzer.
+func sanctionedSeed(pass *goanalysis.Pass, e ast.Expr, stack []ast.Node) bool {
+	return sanctionedSeedDepth(pass, e, stack, 0)
+}
+
+func sanctionedSeedDepth(pass *goanalysis.Pass, e ast.Expr, stack []ast.Node, depth int) bool {
+	if depth > 12 {
+		return false
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if fn := calleeFunc(pass, x); fn != nil {
+			if seedProducers[fn.Name()] {
+				return true
+			}
+			// int64(...)-style conversions and small helpers: accept
+			// conversions, reject arbitrary calls.
+		}
+		// Type conversion? A conversion's "callee" is a type, not a func.
+		if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return sanctionedSeedDepth(pass, x.Args[0], stack, depth+1)
+		}
+		return false
+	case *ast.BinaryExpr:
+		// seed^const, seed+int64(i): arithmetic over a sanctioned seed
+		// still carries it. At least one operand must be sanctioned and
+		// the other must not be clock-derived.
+		if exprUsesClock(pass, x.X) || exprUsesClock(pass, x.Y) {
+			return false
+		}
+		return sanctionedSeedDepth(pass, x.X, stack, depth+1) ||
+			sanctionedSeedDepth(pass, x.Y, stack, depth+1)
+	case *ast.UnaryExpr:
+		return sanctionedSeedDepth(pass, x.X, stack, depth+1)
+	case *ast.SelectorExpr:
+		// A field read like spec.Seed or task.seed: the producer filled
+		// it; trust fields that are named as seeds.
+		return isSeedName(x.Sel.Name)
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(x)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		if paramOfEnclosing(pass, v, stack) {
+			return true // the caller's argument is checked at its own site
+		}
+		if def := localDefinition(pass, v, stack); def != nil {
+			return sanctionedSeedDepth(pass, def, stack, depth+1)
+		}
+		// Fall back on naming for variables whose definition we cannot
+		// see (package vars, closure captures from an outer scope).
+		return isSeedName(x.Name)
+	default:
+		return false
+	}
+}
+
+// isSeedName reports whether an identifier is conventionally a derived
+// seed. The repo's convention is that anything called "seed"/"Seed"
+// holds a DeriveSeed/TaskSeed product; seedflow polices the producers.
+func isSeedName(name string) bool {
+	lower := strings.ToLower(name)
+	return lower == "seed" || strings.HasSuffix(lower, "seed")
+}
+
+// paramOfEnclosing reports whether v is a parameter of any function
+// literal or declaration on the stack.
+func paramOfEnclosing(pass *goanalysis.Pass, v *types.Var, stack []ast.Node) bool {
+	for _, n := range stack {
+		var ft *ast.FuncType
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			ft = fn.Type
+		case *ast.FuncLit:
+			ft = fn.Type
+		default:
+			continue
+		}
+		if ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if pass.TypesInfo.ObjectOf(name) == v {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// localDefinition finds the right-hand side of the single assignment
+// defining v inside the innermost enclosing function, or nil when v is
+// reassigned or not locally defined.
+func localDefinition(pass *goanalysis.Pass, v *types.Var, stack []ast.Node) ast.Expr {
+	body, _ := enclosingFunc(stack)
+	if body == nil {
+		return nil
+	}
+	var def ast.Expr
+	count := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || pass.TypesInfo.ObjectOf(id) != v {
+				continue
+			}
+			count++
+			def = as.Rhs[i]
+		}
+		return true
+	})
+	if count != 1 {
+		return nil
+	}
+	return def
+}
+
+// clockMethods are the time.Time accessors that turn wall time into an
+// integer — the classic nondeterministic-seed idiom.
+var clockMethods = map[string]bool{
+	"UnixNano": true, "UnixMicro": true, "UnixMilli": true, "Unix": true,
+	"Nanosecond": true,
+}
+
+// isClockSeed matches time.Now().<clock method>() chains.
+func isClockSeed(pass *goanalysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !clockMethods[sel.Sel.Name] {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass, inner)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now"
+}
+
+func clockMethod(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name + "()"
+	}
+	return ""
+}
+
+// exprUsesClock reports whether the expression contains a time.Now()
+// call anywhere.
+func exprUsesClock(pass *goanalysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,27 @@
+// Package directivecheck exercises the directivecheck analyzer. The
+// expectations are embedded at the end of the directive comments
+// themselves (the harness finds the marker anywhere in a comment)
+// because the diagnostics anchor on the directive's own line.
+package directivecheck
+
+// valid: named analyzer plus justification — silent.
+func valid(m map[int]bool) int {
+	//mdsvet:ignore mapiter boundedgo -- downstream consumer sorts the result
+	return len(m)
+}
+
+// bare: no "-- reason" at all.
+func bare(m map[int]bool) int {
+	//mdsvet:ignore mapiter // want `malformed //mdsvet:ignore directive`
+	return len(m)
+}
+
+// noName: justification but nothing named before it.
+func noName() {
+	//mdsvet:ignore -- lacks any analyzer name // want `missing analyzer name`
+}
+
+// unknown: valid shape, but the name is a typo that suppresses nothing.
+func unknown() {
+	//mdsvet:ignore mapitre -- sorted downstream // want `unknown analyzer "mapitre"`
+}

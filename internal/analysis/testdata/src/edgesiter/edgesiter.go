@@ -1,0 +1,40 @@
+// Package edgesiter exercises the edgesiter analyzer with a stand-in
+// Graph type (the analyzer matches edge owners by type name).
+package edgesiter
+
+// Graph mimics localmds/internal/graph.Graph.
+type Graph struct{ n int }
+
+// Edges materializes the whole edge list — the pattern under guard.
+func (g *Graph) Edges() [][2]int { return nil }
+
+// VisitEdges is the allocation-free replacement.
+func (g *Graph) VisitEdges(fn func(u, v int)) {}
+
+// Other is not a graph type; its Edges method is unrelated.
+type Other struct{}
+
+func (o Other) Edges() [][2]int { return nil }
+
+// flagged calls the allocating accessor on a graph.
+func flagged(g *Graph) [][2]int {
+	return g.Edges() // want `Graph.Edges\(\) allocates the whole edge list`
+}
+
+// visits uses the sanctioned iterator.
+func visits(g *Graph) int {
+	c := 0
+	g.VisitEdges(func(u, v int) { c++ })
+	return c
+}
+
+// otherEdges: Edges on a non-graph type is fine.
+func otherEdges(o Other) [][2]int {
+	return o.Edges()
+}
+
+// justified keeps a cold-path call with a written reason.
+func justified(g *Graph) [][2]int {
+	//mdsvet:ignore edgesiter -- one-shot export path, not hot
+	return g.Edges()
+}

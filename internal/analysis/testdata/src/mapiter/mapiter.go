@@ -1,0 +1,136 @@
+// Package mapiter exercises the mapiter analyzer: order-sensitive map
+// walks are flagged, the recognized order-insensitive shapes are not.
+package mapiter
+
+import "sort"
+
+// flagged builds output directly from map order.
+func flagged(m map[int]bool) []int {
+	var out []int
+	for k := range m { // want `order-sensitive iteration over map`
+		out = append(out, k*2)
+	}
+	return out
+}
+
+// transformThenUse appends a transformed key but never sorts.
+func transformThenUse(m map[int]string) string {
+	s := ""
+	for _, v := range m { // want `order-sensitive iteration over map`
+		s = s + v
+	}
+	return s
+}
+
+// floatSum is rejected even though += looks commutative: float addition
+// is not associative, so visit order leaks into the low bits.
+func floatSum(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m { // want `order-sensitive iteration over map`
+		s += v
+	}
+	return s
+}
+
+// collectSort is the canonical clean shape.
+func collectSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// collectSortSlice uses sort.Slice on a struct collector.
+func collectSortSlice(m map[string]int) []string {
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// intSum: integer accumulation commutes.
+func intSum(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// counter: ++ commutes.
+func counter(m map[int]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// maxFold: the guarded running-max update commutes.
+func maxFold(m map[int]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// setInsert: inserting constant values into a set commutes.
+func setInsert(m map[int]int) map[int]bool {
+	seen := map[int]bool{}
+	for k := range m {
+		seen[k] = true
+	}
+	return seen
+}
+
+// forall is a pure quantifier scan: whichever element fails first, the
+// returned value is the same.
+func forall(m map[int][]int) bool {
+	for _, vs := range m {
+		for _, v := range vs {
+			if v < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// justified carries a directive with a written reason.
+func justified(m map[int]bool) []int {
+	var out []int
+	//mdsvet:ignore mapiter -- consumer treats out as an unordered set
+	for k := range m {
+		out = append(out, k+1)
+	}
+	return out
+}
+
+// bareDirective is NOT suppressed: a directive without "-- reason" is
+// malformed and must not have the power of a justified one.
+func bareDirective(m map[int]bool) []int {
+	var out []int
+	//mdsvet:ignore mapiter
+	for k := range m { // want `order-sensitive iteration over map`
+		out = append(out, k+1)
+	}
+	return out
+}
+
+// wrongName: a directive naming a different analyzer does not suppress
+// mapiter findings.
+func wrongName(m map[int]bool) []int {
+	var out []int
+	//mdsvet:ignore seedflow -- reason aimed at the wrong analyzer
+	for k := range m { // want `order-sensitive iteration over map`
+		out = append(out, k+1)
+	}
+	return out
+}

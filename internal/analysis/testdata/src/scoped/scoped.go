@@ -1,0 +1,12 @@
+// Package scoped holds a violation with no want comments: analyzer
+// tests run it with a scope flag that excludes this package and expect
+// silence, proving the scope gate works.
+package scoped
+
+func ordered(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k*3)
+	}
+	return out
+}

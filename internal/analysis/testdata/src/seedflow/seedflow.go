@@ -1,0 +1,64 @@
+// Package seedflow exercises the seedflow analyzer. DeriveSeed is a
+// stand-in for gen.DeriveSeed: the analyzer matches producers by name so
+// testdata stays self-contained.
+package seedflow
+
+import (
+	"math/rand"
+	"time"
+)
+
+// DeriveSeed mimics the repo's sanctioned seed producer.
+func DeriveSeed(root int64, labels ...string) int64 { return root + int64(len(labels)) }
+
+// globalSource uses the shared, racy, non-replayable global generator.
+func globalSource() int {
+	return rand.Intn(10) // want `use of math/rand global source`
+}
+
+// clockSeed is the classic nondeterministic-seed idiom: both the
+// unsanctioned NewSource argument and the wall-clock read are flagged.
+func clockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `does not flow from DeriveSeed/TaskSeed` `clock-derived value`
+}
+
+// hardcoded shares one constant stream across call sites.
+func hardcoded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `does not flow from DeriveSeed/TaskSeed`
+}
+
+// derived flows through a local variable from the producer.
+func derived(root int64) *rand.Rand {
+	s := DeriveSeed(root, "exp", "row")
+	return rand.New(rand.NewSource(s))
+}
+
+// fromParam trusts parameters: the caller's argument is checked at its
+// own call site.
+func fromParam(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Spec mimics a task spec whose Seed field a producer filled.
+type Spec struct{ Seed int64 }
+
+// fromField trusts fields named like seeds.
+func fromField(s Spec) *rand.Rand {
+	return rand.New(rand.NewSource(s.Seed))
+}
+
+// arithmetic over a sanctioned seed still carries it.
+func arithmetic(root int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(root, "x") ^ int64(i)))
+}
+
+// justified keeps a fixture generator with a written reason.
+func justified() *rand.Rand {
+	//mdsvet:ignore seedflow -- demo fixture; determinism not required here
+	return rand.New(rand.NewSource(7))
+}
+
+// methodsFine: methods on an explicit *rand.Rand are always allowed.
+func methodsFine(r *rand.Rand) int {
+	return r.Intn(10)
+}

@@ -160,9 +160,12 @@ func (a *mvcAlg1Process) Round(round int, inbox []local.Message) ([]local.Messag
 	}
 	fresh := a.scratch[:0]
 	if round == a.gatherRounds+1 {
+		// Sorting pins the broadcast order even if seeding ever grows to
+		// multiple records: message contents must not depend on map order.
 		for id, rec := range a.records {
 			fresh = append(fresh, floodRecord{ID: id, Rec: rec})
 		}
+		sort.Slice(fresh, func(i, j int) bool { return fresh[i].ID < fresh[j].ID })
 	}
 	for _, m := range inbox {
 		fm, ok := m.(*floodMsg)

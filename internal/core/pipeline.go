@@ -228,6 +228,7 @@ func Alg1Pipeline(g *graph.Graph, p Params, opt PipelineOptions) (*Alg1Result, e
 			var wg sync.WaitGroup
 			for k := 0; k < w; k++ {
 				wg.Add(1)
+				//mdsvet:ignore boundedgo -- bounded fan-out: exactly w <= PipelineOptions.Workers goroutines, joined below; core cannot import runner.Pool (cycle)
 				go func() {
 					defer wg.Done()
 					solver := componentSolver{csr: csr, dominated: dominated, p: p, arena: graph.NewArena()}

@@ -16,7 +16,11 @@ type jsonGraph struct {
 // MarshalJSON encodes the graph as {"n": ..., "edges": [[u,v], ...]} with
 // edges in canonical (u < v, lexicographic) order.
 func (g *Graph) MarshalJSON() ([]byte, error) {
-	return json.Marshal(jsonGraph{N: g.N(), Edges: g.Edges()})
+	edges := make([][2]int, 0, g.M())
+	g.VisitEdges(func(u, v int) {
+		edges = append(edges, [2]int{u, v})
+	})
+	return json.Marshal(jsonGraph{N: g.N(), Edges: edges})
 }
 
 // UnmarshalJSON decodes the wire format produced by MarshalJSON, validating

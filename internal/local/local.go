@@ -247,6 +247,7 @@ type computePool struct {
 func newComputePool(workers int, work func(lo, hi, round int)) *computePool {
 	p := &computePool{jobs: make(chan chunk, workers)}
 	for i := 0; i < workers; i++ {
+		//mdsvet:ignore boundedgo -- persistent bounded pool: exactly `workers` goroutines for the engine's lifetime; local cannot import runner.Pool (layering)
 		go func() {
 			for c := range p.jobs {
 				work(c.lo, c.hi, c.round)

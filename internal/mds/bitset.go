@@ -655,6 +655,7 @@ func (e *engine) solveParallel(workers int, pool Pool) {
 		var fallback sync.WaitGroup
 		fallback.Add(workers)
 		for i := 0; i < workers; i++ {
+			//mdsvet:ignore boundedgo -- bounded fallback pool of exactly `workers` goroutines when no runner.Pool is injected (mds cannot import runner: cycle)
 			go func() {
 				defer fallback.Done()
 				for fn := range submit {
