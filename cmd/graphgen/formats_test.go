@@ -56,6 +56,31 @@ func TestEmitEdgeListAndDIMACS(t *testing.T) {
 	}
 }
 
+// TestCSRBinConvertRoundTrip: -oformat csrbin pre-bakes a binary file,
+// and converting it back to JSON reproduces the directly-generated JSON —
+// the pre-baking pipeline the huge solve path depends on.
+func TestCSRBinConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "g.csrbin")
+	var out strings.Builder
+	if err := run([]string{"-kind", "grid", "-n", "30", "-oformat", "csrbin", "-o", binPath}, &out); err != nil {
+		t.Fatalf("generate csrbin: %v", err)
+	}
+	var direct strings.Builder
+	if err := run([]string{"-kind", "grid", "-n", "30", "-format", "json"}, &direct); err != nil {
+		t.Fatal(err)
+	}
+	for _, informat := range []string{"auto", "csrbin"} {
+		var back strings.Builder
+		if err := run([]string{"-in", binPath, "-informat", informat, "-format", "json"}, &back); err != nil {
+			t.Fatalf("csrbin back to json (-informat %s): %v", informat, err)
+		}
+		if back.String() != direct.String() {
+			t.Fatalf("-informat %s: csrbin round trip changed the graph", informat)
+		}
+	}
+}
+
 // TestConvertMalformedErrorsCleanly: a broken input exits with a located
 // error, never a panic.
 func TestConvertMalformedErrorsCleanly(t *testing.T) {

@@ -1,17 +1,21 @@
 // Command graphgen emits workload graphs as JSON (the format graph.ReadJSON
-// accepts), plain edge lists, DIMACS, or Graphviz DOT — either generating
-// them or converting a graph read from a file or stdin.
+// accepts), plain edge lists, DIMACS, the binary csrbin encoding, or
+// Graphviz DOT — either generating them or converting a graph read from a
+// file or stdin.
 //
 // Usage:
 //
 //	graphgen -kind ding|cactus|tree|cycle|grid|outerplanar|cliquependants|gnp \
 //	         [-n N] [-t T] [-seed S] [-p P] \
-//	         [-in graph|-] [-informat auto|json|edgelist|dimacs] \
-//	         [-format json|dot|edgelist|dimacs] [-o out]
+//	         [-in graph|-] [-informat auto|json|edgelist|dimacs|csrbin] \
+//	         [-format json|dot|edgelist|dimacs|csrbin] [-o out]
 //
 // With -in, graphgen converts instead of generating: the input encoding is
 // auto-detected (or pinned with -informat) and malformed input exits 1
-// with a line/column message.
+// with a line/column message. -oformat is an alias for -format, so any
+// generator or text input can be pre-baked once into csrbin
+// (graphgen -in huge.edges -oformat csrbin -o huge.csrbin) and re-solved
+// cheaply through mdsrun's mmap loader.
 package main
 
 import (
@@ -42,8 +46,9 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "seed")
 	p := fs.Float64("p", 0.05, "edge probability (gnp)")
 	in := fs.String("in", "", "convert a graph read from this file (\"-\": stdin) instead of generating")
-	informat := fs.String("informat", "auto", "input encoding for -in: auto|json|edgelist|dimacs")
-	format := fs.String("format", "json", "output format: json|dot|edgelist|dimacs")
+	informat := fs.String("informat", "auto", "input encoding for -in: auto|json|edgelist|dimacs|csrbin")
+	format := fs.String("format", "json", "output format: json|dot|edgelist|dimacs|csrbin")
+	oformat := fs.String("oformat", "", "alias for -format")
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -68,6 +73,9 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if *oformat != "" {
+		*format = *oformat
+	}
 	var w io.Writer = stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -84,6 +92,8 @@ func run(args []string, stdout io.Writer) error {
 		return graphio.WriteEdgeList(w, g)
 	case "dimacs":
 		return graphio.WriteDIMACS(w, g)
+	case "csrbin":
+		return graphio.WriteCSRBin(w, g.Freeze())
 	case "dot":
 		_, err := io.WriteString(w, g.DOT(*kind, nil))
 		return err

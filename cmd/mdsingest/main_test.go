@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runJSON runs one mdsingest mode and decodes its JSON report.
+func runJSON(t *testing.T, args ...string) report {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("run(%v) emitted invalid JSON %q: %v", args, out.String(), err)
+	}
+	return rep
+}
+
+// TestPipelineEndToEnd drives every mode over one small instance: the
+// generated component counts are exact, all three loading paths agree on
+// the fingerprint, and the solve validates.
+func TestPipelineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	edges := filepath.Join(dir, "g.edges")
+	bin := filepath.Join(dir, "g.csrbin")
+
+	gen := runJSON(t, "-mode", "gen", "-edges", "1000", "-o", edges)
+	// 1000 edges round up to 4 grid components.
+	if gen.N != 4*gridVertices || gen.M != 4*gridEdgeCount {
+		t.Fatalf("gen n=%d m=%d, want %d/%d", gen.N, gen.M, 4*gridVertices, 4*gridEdgeCount)
+	}
+
+	seq := runJSON(t, "-mode", "parse-seq", "-in", edges, "-fingerprint")
+	par := runJSON(t, "-mode", "parse", "-in", edges, "-workers", "3", "-fingerprint")
+	conv := runJSON(t, "-mode", "convert", "-in", edges, "-o", bin)
+	load := runJSON(t, "-mode", "load", "-in", bin, "-fingerprint")
+	if seq.Fingerprint == "" || seq.Fingerprint != par.Fingerprint || seq.Fingerprint != load.Fingerprint {
+		t.Fatalf("fingerprints diverge: seq=%s par=%s load=%s",
+			seq.Fingerprint, par.Fingerprint, load.Fingerprint)
+	}
+	for _, rep := range []report{seq, par, conv, load} {
+		if rep.N != gen.N || rep.M != gen.M {
+			t.Fatalf("%s: n=%d m=%d, want %d/%d", rep.Mode, rep.N, rep.M, gen.N, gen.M)
+		}
+	}
+
+	solve := runJSON(t, "-mode", "solve", "-in", bin, "-workers", "2", "-r1", "1", "-r2", "2")
+	if solve.Valid == nil || !*solve.Valid {
+		t.Fatalf("solve did not validate: %+v", solve)
+	}
+	if solve.SolutionSize < 1 {
+		t.Fatalf("empty solution: %+v", solve)
+	}
+}
+
+// TestBadModeAndMissingArgs: argument errors are clean, not panics.
+func TestBadModeAndMissingArgs(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "nope"}, &out); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := run([]string{"-mode", "gen"}, &out); err == nil {
+		t.Fatal("gen without -o accepted")
+	}
+	if err := run([]string{"-mode", "convert", "-in", "x"}, &out); err == nil {
+		t.Fatal("convert without -o accepted")
+	}
+}

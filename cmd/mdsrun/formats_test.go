@@ -1,10 +1,14 @@
 package main
 
 import (
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"localmds/internal/gen"
+	"localmds/internal/graphio"
 )
 
 // writeTemp writes content into a temp file and returns its path.
@@ -75,6 +79,80 @@ func TestRunMalformedInputLineColumn(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), "line 2") {
 			t.Fatalf("%s: error %q lacks line position", name, err)
+		}
+	}
+}
+
+// TestRunHugeMatchesAlg1: the huge driver solves the same instance as the
+// staged pipeline — from a csrbin file (mmap path), the equivalent edge
+// list (parallel text path), and the generator — with the same solution
+// size, and validates against the CSR.
+func TestRunHugeMatchesAlg1(t *testing.T) {
+	dir := t.TempDir()
+	csrbinPath := filepath.Join(dir, "g.csrbin")
+	edgesPath := filepath.Join(dir, "g.edges")
+	g, err := gen.FromKind("grid", 100, 5, 0, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.WriteCSRBinFile(csrbinPath, g.Freeze()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(edgesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var ref strings.Builder
+	if err := run([]string{"-in", csrbinPath, "-alg", "alg1", "-r1", "1", "-r2", "2"}, &ref); err != nil {
+		t.Fatalf("alg1 reference: %v", err)
+	}
+	refSize := sizeLine(t, ref.String())
+
+	for _, args := range [][]string{
+		{"-in", csrbinPath, "-alg", "alg1-huge", "-r1", "1", "-r2", "2"},            // auto-sniffed mmap
+		{"-in", csrbinPath, "-alg", "alg1-huge", "-format", "csrbin", "-r1", "1", "-r2", "2"},
+		{"-in", edgesPath, "-alg", "alg1-huge", "-workers", "3", "-r1", "1", "-r2", "2"}, // parallel text
+		{"-graph", "grid", "-n", "100", "-seed", "11", "-alg", "alg1-huge", "-r1", "1", "-r2", "2", "-stages"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		if !strings.Contains(out.String(), "valid dominating set: true") {
+			t.Fatalf("run(%v): %s", args, out.String())
+		}
+		if got := sizeLine(t, out.String()); got != refSize {
+			t.Fatalf("run(%v): %q != alg1 reference %q", args, got, refSize)
+		}
+	}
+}
+
+// sizeLine extracts the "solution size:" line from a report.
+func sizeLine(t *testing.T, report string) string {
+	t.Helper()
+	for _, line := range strings.Split(report, "\n") {
+		if strings.HasPrefix(line, "solution size:") {
+			return line
+		}
+	}
+	t.Fatalf("no solution size line in %q", report)
+	return ""
+}
+
+// TestRunHugeRejectsOptAndDot: the huge path has no adjacency graph to
+// probe or draw, so -opt and -dot are clean one-line errors.
+func TestRunHugeRejectsOptAndDot(t *testing.T) {
+	for _, extra := range [][]string{{"-opt"}, {"-dot", "out.dot"}} {
+		args := append([]string{"-alg", "alg1-huge", "-graph", "cycle", "-n", "10"}, extra...)
+		var out strings.Builder
+		if err := run(args, &out); err == nil ||
+			!strings.Contains(err.Error(), "alg1-huge does not support") {
+			t.Fatalf("run(%v): want rejection, got %v", args, err)
 		}
 	}
 }

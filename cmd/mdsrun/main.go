@@ -5,10 +5,10 @@
 //
 // Usage:
 //
-//	mdsrun -alg alg1|alg1-local|d2|d2-local|tree|greedy|exact|mvc-alg1|mvc-d2 \
+//	mdsrun -alg alg1|alg1-huge|alg1-local|d2|d2-local|tree|greedy|exact|mvc-alg1|mvc-d2 \
 //	       [-graph ding|cactus|tree|cycle|grid|outerplanar|cliquependants|gnp] \
-//	       [-in graph|-] [-format auto|json|edgelist|dimacs] \
-//	       [-n N] [-t T] [-seed S] [-p P] [-r1 R] [-r2 R] \
+//	       [-in graph|-] [-format auto|json|edgelist|dimacs|csrbin] \
+//	       [-n N] [-t T] [-seed S] [-p P] [-r1 R] [-r2 R] [-workers W] \
 //	       [-opt] [-stages] [-dot out.dot]
 //
 // Without -opt, the exact optimum is a best-effort probe: instances under
@@ -19,12 +19,20 @@
 //
 // -in loads the instance from a file ("-" for stdin) instead of
 // generating it; the encoding — the repository JSON, a plain edge list,
-// or DIMACS — is auto-detected unless -format pins it. Malformed input
-// exits 1 with a line/column message.
+// DIMACS, or the binary csrbin format — is auto-detected unless -format
+// pins it. Malformed input exits 1 with a line/column (or byte-offset)
+// message.
 //
-// With -alg alg1 (the staged CSR pipeline), -stages additionally prints the
-// per-stage wall-time/allocation/size table recorded in
-// core.Alg1Result.StageStats.
+// -alg alg1-huge is the huge-graph ingestion path: csrbin files are
+// mmap'd straight into the solver (near-zero load time), text inputs take
+// the parallel chunked parser, and the partition-first driver
+// (core.Alg1Huge) runs on the shared CSR with -workers component solvers —
+// no adjacency-list intermediate is ever materialized. The report skips
+// the diameter (an O(n·m) scan that would dwarf the solve) and the exact
+// optimum probe; -opt and -dot are rejected.
+//
+// With -alg alg1 or alg1-huge, -stages additionally prints the per-stage
+// wall-time/allocation/size table recorded in core.Alg1Result.StageStats.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"localmds/internal/core"
 	"localmds/internal/gen"
@@ -41,6 +50,7 @@ import (
 	"localmds/internal/graphio"
 	"localmds/internal/local"
 	"localmds/internal/mds"
+	"localmds/internal/runner"
 )
 
 func main() {
@@ -52,18 +62,19 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mdsrun", flag.ContinueOnError)
-	alg := fs.String("alg", "alg1", "algorithm: alg1|alg1-local|d2|d2-local|tree|greedy|exact|mvc-alg1|mvc-d2")
+	alg := fs.String("alg", "alg1", "algorithm: alg1|alg1-huge|alg1-local|d2|d2-local|tree|greedy|exact|mvc-alg1|mvc-d2")
 	kind := fs.String("graph", "ding", "generator: "+gen.Kinds)
 	in := fs.String("in", "", "load the graph from this file (\"-\": stdin) instead of generating")
-	format := fs.String("format", "auto", "input encoding for -in: auto|json|edgelist|dimacs")
+	format := fs.String("format", "auto", "input encoding for -in: auto|json|edgelist|dimacs|csrbin")
 	n := fs.Int("n", 60, "target size for generated graphs")
 	tParam := fs.Int("t", 5, "K_{2,t} parameter for the ding generator")
 	seed := fs.Int64("seed", 1, "generator seed")
 	p := fs.Float64("p", 0.05, "edge probability (gnp)")
 	r1 := fs.Int("r1", 4, "Algorithm 1 local 1-cut radius")
 	r2 := fs.Int("r2", 4, "Algorithm 1 local 2-cut radius")
+	workers := fs.Int("workers", 0, "parse/solve worker count for -alg alg1-huge (0: GOMAXPROCS)")
 	optFlag := fs.Bool("opt", false, "require the exact optimum and |S|/OPT ratio (error when the instance exceeds the solver cap)")
-	stages := fs.Bool("stages", false, "print the Algorithm 1 pipeline per-stage timing/size table (requires -alg alg1)")
+	stages := fs.Bool("stages", false, "print the Algorithm 1 pipeline per-stage timing/size table (requires -alg alg1 or alg1-huge)")
 	dotOut := fs.String("dot", "", "write the graph with the solution highlighted to this DOT file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -85,8 +96,15 @@ func run(args []string, stdout io.Writer) error {
 	if *r1 < 0 || *r2 < 0 {
 		return fmt.Errorf("-r1 and -r2 must be >= 0, got %d and %d", *r1, *r2)
 	}
-	if *stages && *alg != "alg1" {
-		return fmt.Errorf("-stages requires -alg alg1 (the staged pipeline), got -alg %s", *alg)
+	if *stages && *alg != "alg1" && *alg != "alg1-huge" {
+		return fmt.Errorf("-stages requires -alg alg1 or alg1-huge (the staged drivers), got -alg %s", *alg)
+	}
+	if *alg == "alg1-huge" {
+		if *optFlag || *dotOut != "" {
+			return fmt.Errorf("-alg alg1-huge does not support -opt or -dot (the huge path never materializes an adjacency graph)")
+		}
+		return runHuge(stdout, *in, *format, *kind, *n, *tParam, *p, *seed,
+			core.Params{R1: *r1, R2: *r2}, *workers, *stages)
 	}
 
 	g, err := loadGraph(*in, *format, *kind, *n, *tParam, *p, *seed)
@@ -164,6 +182,83 @@ func optimum(g *graph.Graph, isMVC bool, maxNodes int64) (int, error) {
 	}
 	sol, err := mds.ExactMDSOpt(g, mds.ExactOptions{MaxNodes: maxNodes})
 	return len(sol), err
+}
+
+// runHuge is the -alg alg1-huge path: load the instance straight into a
+// frozen CSR (mmap for csrbin files, parallel chunked parse for text),
+// run the partition-first driver on a bounded pool, and report against
+// the CSR — the adjacency-list *graph.Graph is never built.
+func runHuge(stdout io.Writer, in, format, kind string, n, tParam int, p float64, seed int64,
+	params core.Params, workers int, stages bool) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := runner.NewPool(workers, 4*workers)
+	defer pool.Close()
+
+	var csr *graph.CSR
+	var mapped *graphio.MappedCSR
+	switch {
+	case in == "":
+		g, err := gen.FromKind(kind, n, tParam, p, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return err
+		}
+		csr = g.Freeze()
+	default:
+		f, err := graphio.ParseFormat(format)
+		if err != nil {
+			return err
+		}
+		if in != "-" && (f == graphio.FormatCSRBin || (f == graphio.FormatAuto && sniffCSRBin(in))) {
+			mapped, err = graphio.OpenCSRBin(in, graphio.OpenOptions{})
+			if err != nil {
+				return err
+			}
+			defer mapped.Close()
+			csr = &mapped.CSR
+		} else {
+			csr, err = graphio.ParseCSRFile(in, f, graphio.CSROptions{Pool: pool})
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Fprintf(stdout, "graph: n=%d m=%d (csr%s, diameter skipped on the huge path)\n",
+		csr.N(), len(csr.Targets)/2, mappedTag(mapped))
+	res, err := core.Alg1Huge(csr, params, core.HugeOptions{Pool: pool})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "algorithm: alg1-huge\nsolution size: %d\n", len(res.S))
+	fmt.Fprintf(stdout, "valid dominating set: %v\n", mds.IsDominatingSetCSR(csr, res.S))
+	if stages {
+		fmt.Fprintf(stdout, "\npipeline stages:\n%s", res.StageStats.Render())
+	}
+	return nil
+}
+
+// sniffCSRBin reports whether the file starts with the csrbin magic.
+func sniffCSRBin(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := io.ReadFull(f, b[:]); err != nil {
+		return false
+	}
+	fmtDetected, err := graphio.Detect(b[:])
+	return err == nil && fmtDetected == graphio.FormatCSRBin
+}
+
+func mappedTag(m *graphio.MappedCSR) string {
+	if m != nil && m.Mapped {
+		return ", mmap"
+	}
+	return ""
 }
 
 // loadGraph reads the instance from a file or stdin (JSON, edge list, or

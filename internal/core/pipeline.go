@@ -180,27 +180,8 @@ func Alg1Pipeline(g *graph.Graph, p Params, opt PipelineOptions) (*Alg1Result, e
 	var comps [][]int32
 	res.runStage("Partition", "residual components", sample, func() int {
 		s1Local = graph.SortedUnion(xLocal, iLocal)
-		n := csr.N()
-		dominated = make([]bool, n)
-		inS1 := make([]bool, n)
-		for _, v := range s1Local {
-			inS1[v] = true
-			dominated[v] = true
-			for _, u := range csr.Row(v) {
-				dominated[u] = true
-			}
-		}
-		rest := make([]int32, 0, n)
-		for v := 0; v < n; v++ {
-			if inS1[v] {
-				continue
-			}
-			if dominated[v] && allDominatedCSR(csr, v, dominated) {
-				uLocal = append(uLocal, v)
-			} else {
-				rest = append(rest, int32(v))
-			}
-		}
+		var rest []int32
+		dominated, uLocal, rest = partitionResidual(csr, s1Local)
 		comps = csr.SubsetComponents(rest, arena)
 		return len(comps)
 	})
@@ -259,26 +240,64 @@ func Alg1Pipeline(g *graph.Graph, p Params, opt PipelineOptions) (*Alg1Result, e
 
 	// Stitch: assemble the solution and diagnostics in component order.
 	res.runStage("Stitch", "solution vertices", sample, func() int {
-		sol := append([]int(nil), s1Local...)
-		for i := range outs {
-			o := &outs[i]
-			if !o.solved {
-				continue
-			}
-			res.Components = append(res.Components, mapBack32(comps[i], active))
-			if o.diam > res.MaxComponentDiameter {
-				res.MaxComponentDiameter = o.diam
-			}
-			if o.fallback {
-				res.BruteFallbacks++
-			}
-			sol = append(sol, o.chosen...)
-		}
-		res.S = mapBack(graph.Dedup(sol), active)
-		res.RoundsEstimate = p.GatherRadius() + 2 + res.MaxComponentDiameter + 1
-		return len(res.S)
+		return stitchSolution(res, p, active, s1Local, comps, outs)
 	})
 	return res, nil
+}
+
+// partitionResidual computes the Partition stage's split of the reduced
+// graph: the domination bitmap induced by S1 = X ∪ I, the saturated set U
+// (dominated vertices whose whole closed neighborhood is dominated), and
+// the residual vertex set of Ĝ - (S1 ∪ U). Shared by Alg1Pipeline and
+// Alg1Huge so the two drivers cannot drift.
+func partitionResidual(csr *graph.CSR, s1Local []int) (dominated []bool, uLocal []int, rest []int32) {
+	n := csr.N()
+	dominated = make([]bool, n)
+	inS1 := make([]bool, n)
+	for _, v := range s1Local {
+		inS1[v] = true
+		dominated[v] = true
+		for _, u := range csr.Row(v) {
+			dominated[u] = true
+		}
+	}
+	rest = make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if inS1[v] {
+			continue
+		}
+		if dominated[v] && allDominatedCSR(csr, v, dominated) {
+			uLocal = append(uLocal, v)
+		} else {
+			rest = append(rest, int32(v))
+		}
+	}
+	return dominated, uLocal, rest
+}
+
+// stitchSolution assembles the final solution and diagnostics in component
+// order, filling res.S, Components, MaxComponentDiameter, BruteFallbacks,
+// and RoundsEstimate. It returns the solution size (the Stitch stage's
+// item count). Shared by Alg1Pipeline and Alg1Huge.
+func stitchSolution(res *Alg1Result, p Params, active, s1Local []int, comps [][]int32, outs []compOut) int {
+	sol := append([]int(nil), s1Local...)
+	for i := range outs {
+		o := &outs[i]
+		if !o.solved {
+			continue
+		}
+		res.Components = append(res.Components, mapBack32(comps[i], active))
+		if o.diam > res.MaxComponentDiameter {
+			res.MaxComponentDiameter = o.diam
+		}
+		if o.fallback {
+			res.BruteFallbacks++
+		}
+		sol = append(sol, o.chosen...)
+	}
+	res.S = mapBack(graph.Dedup(sol), active)
+	res.RoundsEstimate = p.GatherRadius() + 2 + res.MaxComponentDiameter + 1
+	return len(res.S)
 }
 
 // componentSolver is one worker's reusable state for ComponentSolve.

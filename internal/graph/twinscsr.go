@@ -1,0 +1,106 @@
+package graph
+
+// TwinReduceCSR computes the true-twin reduction of a frozen CSR view: the
+// CSR of the twin-less graph G⁻ plus the mapping from reduced indices to
+// original labels — the same pair TwinReduction returns, without ever
+// materializing an adjacency-list *Graph. It exists for the huge-graph
+// path, where the input arrives as a (possibly mmap-backed, read-only) CSR
+// and a Clone-based reduction would double peak RSS before the solver
+// runs.
+//
+// True twins are necessarily adjacent (v ∈ N[v] = N[u]), so the scan only
+// compares adjacent pairs of equal degree — O(m·Δ) worst case, near-linear
+// on the sparse workloads — and groups them with a union-find, since
+// closed-neighborhood equality is transitive. Like TwinReduction it keeps
+// the smallest vertex of each class and iterates to a fixpoint (removing
+// twins can create new twins). When g has no true twins the input CSR is
+// returned as-is (not a copy); c is never mutated.
+func TwinReduceCSR(c *CSR) (*CSR, []int) {
+	cur := c
+	mapping := make([]int, c.N())
+	for i := range mapping {
+		mapping[i] = i
+	}
+	a := NewArena()
+	for {
+		reps, shrunk := twinClassReps(cur)
+		if !shrunk {
+			return cur, mapping
+		}
+		next := &CSR{}
+		cur.InducedInto(next, reps, a)
+		newMapping := make([]int, len(reps))
+		for i, v := range reps {
+			newMapping[i] = mapping[v]
+		}
+		cur, mapping = next, newMapping
+	}
+}
+
+// twinClassReps returns the smallest member of every true-twin class of c,
+// ascending, and whether any class has more than one member. When nothing
+// shrinks it returns (nil, false) so the caller can keep c unchanged.
+func twinClassReps(c *CSR) ([]int32, bool) {
+	n := c.N()
+	d := NewDSU(n)
+	for v := 0; v < n; v++ {
+		rv := c.Row(v)
+		for _, u32 := range rv {
+			u := int(u32)
+			if u <= v || c.Degree(u) != len(rv) || d.Same(v, u) {
+				continue
+			}
+			if closedEqualCSR(c, v, u) {
+				d.Union(v, u)
+			}
+		}
+	}
+	if d.SetCount() == n {
+		return nil, false
+	}
+	reps := make([]int32, 0, d.SetCount())
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if r := d.Find(v); !seen[r] {
+			// v ascending, so the first member seen of each class is its
+			// smallest — the representative TwinReduction keeps.
+			seen[r] = true
+			reps = append(reps, int32(v))
+		}
+	}
+	return reps, true
+}
+
+// closedEqualCSR reports whether N[v] = N[u] (closed neighborhoods in c),
+// merging each vertex into its own sorted row on the fly.
+func closedEqualCSR(c *CSR, v, u int) bool {
+	rv, ru := c.Row(v), c.Row(u)
+	iv, iu := int32(v), int32(u)
+	i, j := 0, 0
+	doneV, doneU := false, false
+	next := func(row []int32, k *int, self int32, emitted *bool) (int32, bool) {
+		if !*emitted && (*k >= len(row) || self < row[*k]) {
+			*emitted = true
+			return self, true
+		}
+		if *k < len(row) {
+			x := row[*k]
+			*k++
+			return x, true
+		}
+		return 0, false
+	}
+	for {
+		xv, okv := next(rv, &i, iv, &doneV)
+		xu, oku := next(ru, &j, iu, &doneU)
+		if okv != oku {
+			return false
+		}
+		if !okv {
+			return true
+		}
+		if xv != xu {
+			return false
+		}
+	}
+}

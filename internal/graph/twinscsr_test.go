@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// randomTwinRich builds a graph engineered to contain true twins: a random
+// base plus duplicated closed neighborhoods.
+func randomTwinRich(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	for k := 0; k < n/3; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	// Clone some closed neighborhoods: make v a true twin of u by giving v
+	// exactly u's neighbors plus the uv edge.
+	for k := 0; k < n/4; k++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		for _, w := range slices.Clone(g.Neighbors(u)) {
+			if w != v && !g.HasEdge(v, w) {
+				g.AddEdge(v, w)
+			}
+		}
+		if !g.HasEdge(u, v) {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Property: TwinReduceCSR agrees with the adjacency-list TwinReduction —
+// same reduced graph (bit-identical frozen view) and same representative
+// mapping — on twin-rich randomized instances.
+func TestTwinReduceCSRMatchesTwinReduction(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%48) + 2
+		g := randomTwinRich(n, rng)
+		wantG, wantMap := g.TwinReduction()
+		gotCSR, gotMap := TwinReduceCSR(g.Freeze())
+		return equalCSR(gotCSR, wantG.Freeze()) && slices.Equal(gotMap, wantMap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A twin-free input must come back as the same CSR pointer (no copy) with
+// the identity mapping.
+func TestTwinReduceCSRTwinFreeNoCopy(t *testing.T) {
+	g := New(5) // path: no true twins
+	for v := 0; v < 4; v++ {
+		g.AddEdge(v, v+1)
+	}
+	c := g.Freeze()
+	rc, mapping := TwinReduceCSR(c)
+	if rc != c {
+		t.Fatal("twin-free reduction copied the CSR")
+	}
+	for i, v := range mapping {
+		if v != i {
+			t.Fatalf("mapping[%d] = %d, want identity", i, v)
+		}
+	}
+}
+
+// Fixpoint iteration: removing twins can create new twins. A star of
+// pendant pairs collapses in waves, and the CSR path must track the
+// adjacency-list path through every wave.
+func TestTwinReduceCSRFixpoint(t *testing.T) {
+	// K4 with each vertex's closed neighborhood duplicated twice: heavy
+	// collapse in round one, further collapse after.
+	g := New(12)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	for u := 0; u < 4; u++ {
+		for _, dup := range []int{4 + 2*u, 5 + 2*u} {
+			for v := 0; v < 4; v++ {
+				if v != u {
+					g.AddEdge(dup, v)
+				}
+			}
+			g.AddEdge(dup, u)
+		}
+	}
+	wantG, wantMap := g.TwinReduction()
+	gotCSR, gotMap := TwinReduceCSR(g.Freeze())
+	if !equalCSR(gotCSR, wantG.Freeze()) {
+		t.Fatal("reduced CSR differs from TwinReduction")
+	}
+	if !slices.Equal(gotMap, wantMap) {
+		t.Fatalf("mapping = %v, want %v", gotMap, wantMap)
+	}
+	if gotCSR.N() >= 12 {
+		t.Fatalf("nothing collapsed: n = %d", gotCSR.N())
+	}
+}

@@ -13,8 +13,10 @@ import (
 // advisory (real-world files routinely mis-state it); endpoints are
 // validated strictly. Duplicate edges and self-loops are collapsed by
 // graph.FromEdgesUnchecked. With maxVertices > 0, a declared count beyond
-// the limit fails before any allocation proportional to it.
-func readDIMACS(br *bufio.Reader, maxVertices int) (*graph.Graph, error) {
+// the limit fails before any allocation proportional to it; with
+// maxEdges > 0, both the declared m and the actual number of edge lines
+// are bounded.
+func readDIMACS(br *bufio.Reader, maxVertices, maxEdges int) (*graph.Graph, error) {
 	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	var edges [][2]int
@@ -49,9 +51,14 @@ func readDIMACS(br *bufio.Reader, maxVertices int) (*graph.Graph, error) {
 			}
 			n = v
 			if len(toks) > 3 {
-				if _, err := strconv.Atoi(toks[3].text); err != nil {
+				m, err := strconv.Atoi(toks[3].text)
+				if err != nil {
 					return nil, &ParseError{Line: lineNo, Col: toks[3].col,
 						Msg: "expected an edge count, got " + strconv.Quote(toks[3].text)}
+				}
+				if maxEdges > 0 && m > maxEdges {
+					return nil, &ParseError{Line: lineNo, Col: toks[3].col,
+						Msg: "edge count " + strconv.Itoa(m) + " exceeds the limit " + strconv.Itoa(maxEdges)}
 				}
 			}
 		case "e":
@@ -70,6 +77,10 @@ func readDIMACS(br *bufio.Reader, maxVertices int) (*graph.Graph, error) {
 			v, err := parseDIMACSVertex(toks[2], lineNo, n)
 			if err != nil {
 				return nil, err
+			}
+			if maxEdges > 0 && len(edges) >= maxEdges {
+				return nil, &ParseError{Line: lineNo, Col: toks[0].col,
+					Msg: "edge count exceeds the limit " + strconv.Itoa(maxEdges)}
 			}
 			edges = append(edges, [2]int{u - 1, v - 1})
 		default:

@@ -51,8 +51,10 @@ func parseVertex(t token, line int) (int, error) {
 // the vertex count; otherwise n = 1 + max endpoint. Self-loops and
 // duplicate edges are collapsed by graph.FromEdgesUnchecked, matching its
 // tolerant batch-build contract. With maxVertices > 0, a declared count or
-// endpoint beyond the limit fails before any allocation proportional to it.
-func readEdgeList(br *bufio.Reader, maxVertices int) (*graph.Graph, error) {
+// endpoint beyond the limit fails before any allocation proportional to
+// it; with maxEdges > 0, the parse stops at the first edge line past the
+// limit.
+func readEdgeList(br *bufio.Reader, maxVertices, maxEdges int) (*graph.Graph, error) {
 	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	var edges [][2]int
@@ -118,6 +120,10 @@ func readEdgeList(br *bufio.Reader, maxVertices int) (*graph.Graph, error) {
 		}
 		if v > maxV {
 			maxV = v
+		}
+		if maxEdges > 0 && len(edges) >= maxEdges {
+			return nil, &ParseError{Line: lineNo, Col: toks[0].col,
+				Msg: "edge count exceeds the limit " + strconv.Itoa(maxEdges)}
 		}
 		edges = append(edges, [2]int{u, v})
 	}

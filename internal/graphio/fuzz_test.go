@@ -23,14 +23,18 @@ import (
 // them on every run and CI's -fuzz smoke mutates from real inputs.
 
 // fuzzVertexLimit keeps adversarial vertex counts from allocating
-// gigabytes per exec while still exercising the limit checks.
-const fuzzVertexLimit = 1 << 16
+// gigabytes per exec while still exercising the limit checks;
+// fuzzEdgeLimit does the same for declared edge counts.
+const (
+	fuzzVertexLimit = 1 << 16
+	fuzzEdgeLimit   = 1 << 17
+)
 
 // checkTextParse enforces the shared text-format contract and returns
 // the parsed graph (nil if the input was rejected).
 func checkTextParse(t *testing.T, data []byte, f Format) *graph.Graph {
 	t.Helper()
-	g, err := ReadLimited(bytes.NewReader(data), f, fuzzVertexLimit)
+	g, err := ReadLimited(bytes.NewReader(data), f, fuzzVertexLimit, fuzzEdgeLimit)
 	if err != nil {
 		var pe *ParseError
 		if !errors.As(err, &pe) {
@@ -113,7 +117,7 @@ func FuzzReadJSON(f *testing.F) {
 	f.Add([]byte(`{"n":1e9}`))
 	f.Add([]byte(`not json`))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		g, err := ReadLimited(bytes.NewReader(data), FormatJSON, fuzzVertexLimit)
+		g, err := ReadLimited(bytes.NewReader(data), FormatJSON, fuzzVertexLimit, fuzzEdgeLimit)
 		if err != nil {
 			return
 		}
@@ -139,7 +143,7 @@ func FuzzReadAuto(f *testing.F) {
 	f.Add([]byte("!garbage"))
 	f.Add([]byte(""))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		g, err := ReadLimited(bytes.NewReader(data), FormatAuto, fuzzVertexLimit)
+		g, err := ReadLimited(bytes.NewReader(data), FormatAuto, fuzzVertexLimit, fuzzEdgeLimit)
 		if err != nil {
 			return
 		}

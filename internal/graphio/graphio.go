@@ -1,11 +1,14 @@
 // Package graphio reads and writes graphs in the interchange formats the
 // CLIs and the mdsd service accept: the repository's JSON encoding
 // ({"n": ..., "edges": [[u,v], ...]}), plain whitespace-separated edge
-// lists, and DIMACS. The text parsers are streaming — they scan the input
-// line by line and batch-build the graph through
-// graph.FromEdgesUnchecked — and every malformed input is reported as a
-// *ParseError carrying the 1-based line and column of the offending token,
-// never as a panic.
+// lists, DIMACS, and the binary csrbin encoding (a checksummed on-disk
+// graph.CSR that OpenCSRBin can mmap without parsing). The text parsers
+// are streaming — they scan the input line by line and batch-build the
+// graph through graph.FromEdgesUnchecked — and every malformed input is
+// reported as a *ParseError (text) or *FormatError (csrbin) carrying the
+// position of the offending token, never as a panic. ParseCSR is the
+// parallel text-ingestion path: it chunk-splits the input across a worker
+// pool and builds the frozen CSR directly.
 package graphio
 
 import (
@@ -38,6 +41,10 @@ const (
 	// 'p edge <n> <m>' problem line, then 'e <u> <v>' edge lines with
 	// 1-based endpoints.
 	FormatDIMACS
+	// FormatCSRBin is the binary csrbin encoding: a 64-byte checksummed
+	// header followed by the little-endian Offsets/Targets arrays of a
+	// frozen graph.CSR, designed to be mmap'd (see OpenCSRBin).
+	FormatCSRBin
 )
 
 // ParseFormat maps a user-facing format name to a Format.
@@ -51,8 +58,10 @@ func ParseFormat(name string) (Format, error) {
 		return FormatEdgeList, nil
 	case "dimacs":
 		return FormatDIMACS, nil
+	case "csrbin":
+		return FormatCSRBin, nil
 	}
-	return FormatAuto, fmt.Errorf("graphio: unknown format %q (want auto|json|edgelist|dimacs)", name)
+	return FormatAuto, fmt.Errorf("graphio: unknown format %q (want auto|json|edgelist|dimacs|csrbin)", name)
 }
 
 // String returns the canonical format name.
@@ -64,6 +73,8 @@ func (f Format) String() string {
 		return "edgelist"
 	case FormatDIMACS:
 		return "dimacs"
+	case FormatCSRBin:
+		return "csrbin"
 	default:
 		return "auto"
 	}
@@ -85,19 +96,20 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
 }
 
-// Read parses a graph from r in the given format, with no vertex-count
-// limit. With FormatAuto it sniffs the encoding first (see Detect).
-// Text-format errors are *ParseError values with line/column positions.
+// Read parses a graph from r in the given format, with no vertex- or
+// edge-count limit. With FormatAuto it sniffs the encoding first (see
+// Detect). Text-format errors are *ParseError values with line/column
+// positions; csrbin errors are *FormatError values with byte offsets.
 func Read(r io.Reader, f Format) (*graph.Graph, error) {
-	return ReadLimited(r, f, 0)
+	return ReadLimited(r, f, 0, 0)
 }
 
-// ReadLimited is Read bounded by maxVertices (0 = unlimited): an input
-// declaring or implying more vertices is rejected before anything
-// proportional to the count is allocated. Services parsing untrusted
-// payloads must use it — a 40-byte body can otherwise declare a
-// multi-gigabyte vertex count.
-func ReadLimited(r io.Reader, f Format, maxVertices int) (*graph.Graph, error) {
+// ReadLimited is Read bounded by maxVertices and maxEdges (0 = unlimited):
+// an input declaring or implying more vertices or edges is rejected before
+// anything proportional to the count is allocated. Services parsing
+// untrusted payloads must use it — a 40-byte DIMACS or csrbin header can
+// otherwise declare a multi-gigabyte vertex or edge count.
+func ReadLimited(r io.Reader, f Format, maxVertices, maxEdges int) (*graph.Graph, error) {
 	br := bufio.NewReaderSize(r, 64<<10)
 	if f == FormatAuto {
 		var err error
@@ -108,11 +120,17 @@ func ReadLimited(r io.Reader, f Format, maxVertices int) (*graph.Graph, error) {
 	}
 	switch f {
 	case FormatJSON:
-		return readJSON(br, maxVertices)
+		return readJSON(br, maxVertices, maxEdges)
 	case FormatEdgeList:
-		return readEdgeList(br, maxVertices)
+		return readEdgeList(br, maxVertices, maxEdges)
 	case FormatDIMACS:
-		return readDIMACS(br, maxVertices)
+		return readDIMACS(br, maxVertices, maxEdges)
+	case FormatCSRBin:
+		c, err := readCSRBin(br, maxVertices, maxEdges)
+		if err != nil {
+			return nil, err
+		}
+		return graph.FromCSR(c), nil
 	}
 	return nil, fmt.Errorf("graphio: unsupported format %v", f)
 }
@@ -139,10 +157,11 @@ func ReadFile(path string, f Format) (*graph.Graph, error) {
 }
 
 // readJSON decodes the repository encoding {"n": ..., "edges": [...]},
-// enforcing the vertex limit before the graph (whose adjacency storage
-// is proportional to n) is built. Validation matches graph.ReadJSON:
-// duplicate edges, self-loops, and out-of-range endpoints are rejected.
-func readJSON(br *bufio.Reader, maxVertices int) (*graph.Graph, error) {
+// enforcing the vertex and edge limits before the graph (whose adjacency
+// storage is proportional to n + m) is built. Validation matches
+// graph.ReadJSON: duplicate edges, self-loops, and out-of-range endpoints
+// are rejected.
+func readJSON(br *bufio.Reader, maxVertices, maxEdges int) (*graph.Graph, error) {
 	var jg struct {
 		N     int      `json:"n"`
 		Edges [][2]int `json:"edges"`
@@ -156,6 +175,9 @@ func readJSON(br *bufio.Reader, maxVertices int) (*graph.Graph, error) {
 	if maxVertices > 0 && jg.N > maxVertices {
 		return nil, fmt.Errorf("graphio: json: vertex count %d exceeds the limit %d", jg.N, maxVertices)
 	}
+	if maxEdges > 0 && len(jg.Edges) > maxEdges {
+		return nil, fmt.Errorf("graphio: json: edge count %d exceeds the limit %d", len(jg.Edges), maxEdges)
+	}
 	g, err := graph.FromEdges(jg.N, jg.Edges)
 	if err != nil {
 		return nil, fmt.Errorf("graphio: json: %w", err)
@@ -164,11 +186,14 @@ func readJSON(br *bufio.Reader, maxVertices int) (*graph.Graph, error) {
 }
 
 // Detect sniffs the format from the first non-blank byte of a prefix of
-// the input: '{' is JSON, 'c' or 'p' is DIMACS, digits and comment
-// markers ('#', '%') are an edge list.
+// the input: 0x89 (the first csrbin magic byte) is csrbin, '{' is JSON,
+// 'c' or 'p' is DIMACS, digits and comment markers ('#', '%') are an edge
+// list.
 func Detect(prefix []byte) (Format, error) {
 	for _, b := range prefix {
 		switch {
+		case b == csrbinMagic[0]:
+			return FormatCSRBin, nil
 		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
 			continue
 		case b == '{':

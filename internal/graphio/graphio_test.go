@@ -157,8 +157,8 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
-// TestReadLimited: every format rejects a vertex count beyond the limit
-// before building anything, and accepts one at the limit.
+// TestReadLimited: every format rejects a vertex or edge count beyond the
+// limit before building anything, and accepts counts at the limit.
 func TestReadLimited(t *testing.T) {
 	over := map[string]string{
 		"json header":       `{"n":1000001,"edges":[]}`,
@@ -167,7 +167,7 @@ func TestReadLimited(t *testing.T) {
 		"dimacs header":     "p edge 1000001 0\n",
 	}
 	for name, input := range over {
-		if _, err := ReadLimited(strings.NewReader(input), FormatAuto, 1_000_000); err == nil {
+		if _, err := ReadLimited(strings.NewReader(input), FormatAuto, 1_000_000, 0); err == nil {
 			t.Fatalf("%s: limit not enforced", name)
 		} else if !strings.Contains(err.Error(), "limit") {
 			t.Fatalf("%s: error %q does not mention the limit", name, err)
@@ -179,8 +179,32 @@ func TestReadLimited(t *testing.T) {
 		"dimacs":   "p edge 10 1\ne 1 10\n",
 	}
 	for name, input := range ok {
-		if _, err := ReadLimited(strings.NewReader(input), FormatAuto, 10); err != nil {
+		if _, err := ReadLimited(strings.NewReader(input), FormatAuto, 10, 0); err != nil {
 			t.Fatalf("%s at the limit rejected: %v", name, err)
+		}
+	}
+
+	overEdges := map[string]string{
+		"json edges":        `{"n":4,"edges":[[0,1],[1,2],[2,3]]}`,
+		"edgelist edges":    "0 1\n1 2\n2 3\n",
+		"dimacs declared m": "p edge 4 3\n",
+		"dimacs edge lines": "p edge 4 9\ne 1 2\ne 2 3\ne 3 4\n",
+	}
+	for name, input := range overEdges {
+		if _, err := ReadLimited(strings.NewReader(input), FormatAuto, 0, 2); err == nil {
+			t.Fatalf("%s: edge limit not enforced", name)
+		} else if !strings.Contains(err.Error(), "limit") {
+			t.Fatalf("%s: error %q does not mention the limit", name, err)
+		}
+	}
+	okEdges := map[string]string{
+		"json":     `{"n":3,"edges":[[0,1],[1,2]]}`,
+		"edgelist": "0 1\n1 2\n",
+		"dimacs":   "p edge 3 2\ne 1 2\ne 2 3\n",
+	}
+	for name, input := range okEdges {
+		if _, err := ReadLimited(strings.NewReader(input), FormatAuto, 0, 2); err != nil {
+			t.Fatalf("%s at the edge limit rejected: %v", name, err)
 		}
 	}
 }

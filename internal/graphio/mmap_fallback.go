@@ -1,0 +1,17 @@
+//go:build !linux
+
+package graphio
+
+import "os"
+
+// mmapSupported gates the zero-copy loader in OpenCSRBin; without it the
+// loader falls back to the fully-validating streaming read.
+const mmapSupported = false
+
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	panic("graphio: mapFile called on a platform without mmap support")
+}
+
+func csrViewsOf(data []byte, n, arcs int) (offsets, targets []int32) {
+	panic("graphio: csrViewsOf called on a platform without mmap support")
+}

@@ -1,0 +1,37 @@
+//go:build linux
+
+package graphio
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mmapSupported gates the zero-copy loader in OpenCSRBin.
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only and returns the mapping plus its
+// unmap function. A zero-size mapping is invalid, so empty files get a
+// non-mmap empty slice and a no-op unmap.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+// csrViewsOf reinterprets the mapped file as the two CSR arrays. The
+// 64-byte header keeps both int32 views 4-byte aligned, and the caller has
+// already checked that the platform is little-endian and the file size
+// matches the header, so the views are exactly the arrays the writer laid
+// out. The backing memory is PROT_READ: writing through these slices
+// faults, which is the contract MappedCSR documents.
+func csrViewsOf(data []byte, n, arcs int) (offsets, targets []int32) {
+	vals := unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(data[csrbinHeaderLen:]))), n+1+arcs)
+	return vals[: n+1 : n+1], vals[n+1:]
+}

@@ -1,0 +1,682 @@
+package graphio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+
+	"localmds/internal/graph"
+	"localmds/internal/runner"
+)
+
+// This file is the huge-graph text-ingestion path: ParseCSR takes the
+// whole input as one byte slice, splits it into line-aligned chunks, and
+// parses the chunks concurrently on a runner.Pool, feeding the per-chunk
+// edge buffers straight into graph.CSRFromEdgeChunks — no adjacency-list
+// intermediate, no concatenating copy, and a hand-rolled digit parser
+// instead of bufio.Scanner + strconv per token. The result is
+// deterministic by construction at any worker count: the chunking is a
+// pure function of the input length, CSRFromEdgeChunks depends only on the
+// concatenated edge order, and errors are merged by picking the
+// smallest (line, column), so the reported error is the first one the
+// sequential parser would have hit.
+
+// CSROptions tune ParseCSR.
+type CSROptions struct {
+	// Pool runs chunk parses concurrently. nil parses in the calling
+	// goroutine (still through the same chunk parser, so results are
+	// identical).
+	Pool *runner.Pool
+	// MaxVertices and MaxEdges mirror ReadLimited's bounds (0 =
+	// unlimited). Edge-count overflow is reported as a totals error, not
+	// a positioned *ParseError: the total is chunking-independent, so
+	// the message is stable at any worker count.
+	MaxVertices int
+	MaxEdges    int
+}
+
+// ParseCSR parses a graph held entirely in memory into its frozen CSR
+// view, in parallel for the line-oriented text formats (edge list,
+// DIMACS). FormatAuto sniffs like Detect; JSON and csrbin inputs take
+// their sequential readers (csrbin is already binary, JSON grammar does
+// not chunk on lines). The CSR is bit-identical to
+// Read(...).Freeze() on the same input.
+func ParseCSR(data []byte, f Format, opt CSROptions) (*graph.CSR, error) {
+	if f == FormatAuto {
+		prefix := data
+		if len(prefix) > 512 {
+			prefix = prefix[:512]
+		}
+		var err error
+		if f, err = Detect(prefix); err != nil {
+			return nil, err
+		}
+	}
+	switch f {
+	case FormatJSON:
+		g, err := readJSON(bufio.NewReader(bytes.NewReader(data)), opt.MaxVertices, opt.MaxEdges)
+		if err != nil {
+			return nil, err
+		}
+		return g.Freeze(), nil
+	case FormatCSRBin:
+		return readCSRBin(bytes.NewReader(data), opt.MaxVertices, opt.MaxEdges)
+	case FormatEdgeList:
+		return parseEdgeListCSR(data, opt)
+	case FormatDIMACS:
+		return parseDIMACSCSR(data, opt)
+	}
+	return nil, fmt.Errorf("graphio: unsupported format %v", f)
+}
+
+// ParseCSRFile is ParseCSR over a file's contents ("-" reads stdin),
+// prefixing errors with the input name.
+func ParseCSRFile(path string, f Format, opt CSROptions) (*graph.CSR, error) {
+	var data []byte
+	var err error
+	name := path
+	if path == "-" {
+		name = "stdin"
+		data, err = readAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c, err := ParseCSR(data, f, opt)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return c, nil
+}
+
+// readAll is io.ReadAll with a growth-friendly initial buffer.
+func readAll(f *os.File) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(f); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// chunkSpan is one line-aligned byte range and its 1-based starting line.
+type chunkSpan struct {
+	lo, hi int
+	line   int
+}
+
+// chunkTarget is how many line-aligned chunks to aim for per pool worker:
+// more than one so an unlucky dense chunk cannot serialize the tail, few
+// enough that per-chunk buffers stay large.
+const chunkTarget = 4
+
+// minChunkBytes keeps tiny inputs in a single chunk.
+const minChunkBytes = 64 << 10
+
+// splitChunks splits data[pos:] into at most count line-aligned chunks,
+// recording each chunk's starting line number (the line containing
+// data[pos] is line startLine). The split depends only on the input, never
+// on scheduling.
+func splitChunks(data []byte, pos, startLine, count int) []chunkSpan {
+	rest := len(data) - pos
+	if count < 1 {
+		count = 1
+	}
+	if rest <= minChunkBytes || count == 1 {
+		if rest == 0 {
+			return nil
+		}
+		return []chunkSpan{{lo: pos, hi: len(data), line: startLine}}
+	}
+	size := rest / count
+	if size < minChunkBytes {
+		size = minChunkBytes
+	}
+	var spans []chunkSpan
+	line := startLine
+	for lo := pos; lo < len(data); {
+		hi := lo + size
+		if hi >= len(data) {
+			hi = len(data)
+		} else if nl := bytes.IndexByte(data[hi:], '\n'); nl >= 0 {
+			hi += nl + 1
+		} else {
+			hi = len(data)
+		}
+		spans = append(spans, chunkSpan{lo: lo, hi: hi, line: line})
+		line += bytes.Count(data[lo:hi], []byte{'\n'})
+		lo = hi
+	}
+	return spans
+}
+
+// chunkResult is one chunk parser's output.
+type chunkResult struct {
+	edges [][2]int
+	maxV  int // largest endpoint seen, -1 if none
+	extra int // edges counted but not stored once MaxEdges was hit
+	err   *ParseError
+}
+
+// runChunks parses every span with fn, on the pool when one is available.
+func runChunks(spans []chunkSpan, pool *runner.Pool, fn func(chunkSpan) chunkResult) []chunkResult {
+	results := make([]chunkResult, len(spans))
+	if pool == nil || len(spans) == 1 {
+		for i, sp := range spans {
+			results[i] = fn(sp)
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	for i, sp := range spans {
+		wg.Add(1)
+		pool.Submit(func() {
+			defer wg.Done()
+			results[i] = fn(sp)
+		})
+	}
+	wg.Wait()
+	return results
+}
+
+// mergeChunks combines per-chunk results into the final edge chunks,
+// reporting the error the sequential parser would have hit first (smallest
+// line, then column) and the chunking-independent totals.
+func mergeChunks(results []chunkResult) (chunks [][][2]int, maxV, total int, err *ParseError) {
+	maxV = -1
+	chunks = make([][][2]int, 0, len(results))
+	for _, r := range results {
+		if r.err != nil && (err == nil || r.err.Line < err.Line ||
+			(r.err.Line == err.Line && r.err.Col < err.Col)) {
+			err = r.err
+		}
+		if r.maxV > maxV {
+			maxV = r.maxV
+		}
+		total += len(r.edges) + r.extra
+		if len(r.edges) > 0 {
+			chunks = append(chunks, r.edges)
+		}
+	}
+	return chunks, maxV, total, err
+}
+
+func chunkCount(pool *runner.Pool) int {
+	if pool == nil {
+		return 1
+	}
+	return pool.Workers() * chunkTarget
+}
+
+// parseEdgeListCSR is the parallel edge-list parser. The sequential
+// prologue consumes leading blanks/comments and the optional single-integer
+// header line; everything after is chunked.
+func parseEdgeListCSR(data []byte, opt CSROptions) (*graph.CSR, error) {
+	declaredN, pos, line, err := edgeListProlog(data, opt.MaxVertices)
+	if err != nil {
+		return nil, err
+	}
+	spans := splitChunks(data, pos, line, chunkCount(opt.Pool))
+	results := runChunks(spans, opt.Pool, func(sp chunkSpan) chunkResult {
+		return parseEdgeListChunk(data[sp.lo:sp.hi], sp.line, declaredN, opt.MaxVertices, opt.MaxEdges)
+	})
+	chunks, maxV, total, perr := mergeChunks(results)
+	if perr != nil {
+		return nil, perr
+	}
+	if opt.MaxEdges > 0 && total > opt.MaxEdges {
+		return nil, fmt.Errorf("graphio: edgelist: edge count %d exceeds the limit %d", total, opt.MaxEdges)
+	}
+	n := declaredN
+	if n < 0 {
+		n = maxV + 1
+	}
+	return graph.CSRFromEdgeChunks(n, chunks), nil
+}
+
+// edgeListProlog scans the sequential prefix of an edge list: blank and
+// comment lines, plus the optional header line (first data line holding a
+// single integer). It returns the declared vertex count (-1 if none), the
+// byte offset where chunked parsing starts, and that offset's 1-based
+// line number.
+func edgeListProlog(data []byte, maxVertices int) (declaredN, pos, line int, err error) {
+	lineNo := 0
+	var toks []btok
+	for pos < len(data) {
+		lineNo++
+		lineBytes, next := nextLine(data, pos)
+		toks = splitFieldsBytes(stripCommentBytes(lineBytes), toks)
+		if len(toks) == 0 {
+			pos = next
+			continue
+		}
+		if len(toks) != 1 {
+			// First data line is an edge: no header, chunk from here.
+			return -1, pos, lineNo, nil
+		}
+		v, verr := parseVertexBytes(toks[0], lineNo)
+		if verr != nil {
+			return 0, 0, 0, verr
+		}
+		if maxVertices > 0 && v > maxVertices {
+			return 0, 0, 0, &ParseError{Line: lineNo, Col: toks[0].col,
+				Msg: "vertex count " + strconv.Itoa(v) + " exceeds the limit " + strconv.Itoa(maxVertices)}
+		}
+		return v, next, lineNo + 1, nil
+	}
+	return -1, len(data), lineNo + 1, nil
+}
+
+// parseEdgeListChunk parses one line-aligned chunk of edge lines,
+// replicating readEdgeList's per-line semantics and error messages.
+func parseEdgeListChunk(data []byte, startLine, declaredN, maxVertices, maxEdges int) chunkResult {
+	res := chunkResult{maxV: -1}
+	res.edges = make([][2]int, 0, len(data)/8)
+	lineNo := startLine - 1
+	var toks []btok
+	for pos := 0; pos < len(data); {
+		lineNo++
+		lineBytes, next := nextLine(data, pos)
+		pos = next
+		// One-pass fast path for the dominant "u v" shape; any surprise
+		// (sign, comment, field count, range violation) re-parses the line
+		// generically so error positions and messages stay identical.
+		if u, v, ok := fastEdgeLine(lineBytes); ok &&
+			(maxVertices <= 0 || (u < maxVertices && v < maxVertices)) &&
+			(declaredN < 0 || (u < declaredN && v < declaredN)) {
+			if u > res.maxV {
+				res.maxV = u
+			}
+			if v > res.maxV {
+				res.maxV = v
+			}
+			if maxEdges > 0 && len(res.edges) >= maxEdges {
+				res.extra++
+				continue
+			}
+			res.edges = append(res.edges, [2]int{u, v})
+			continue
+		}
+		toks = splitFieldsBytes(stripCommentBytes(lineBytes), toks)
+		if len(toks) == 0 {
+			continue
+		}
+		if len(toks) != 2 {
+			res.err = &ParseError{Line: lineNo, Col: toks[0].col,
+				Msg: "expected an edge as two vertex indices \"u v\", got " + strconv.Itoa(len(toks)) + " fields"}
+			return res
+		}
+		u, err := parseVertexBytes(toks[0], lineNo)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		v, err := parseVertexBytes(toks[1], lineNo)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		if maxVertices > 0 {
+			for i, x := range [2]int{u, v} {
+				if x >= maxVertices {
+					res.err = &ParseError{Line: lineNo, Col: toks[i].col,
+						Msg: "vertex " + strconv.Itoa(x) + " exceeds the limit of " + strconv.Itoa(maxVertices) + " vertices"}
+					return res
+				}
+			}
+		}
+		if declaredN >= 0 {
+			if u >= declaredN {
+				res.err = &ParseError{Line: lineNo, Col: toks[0].col,
+					Msg: "vertex " + strconv.Itoa(u) + " out of range [0," + strconv.Itoa(declaredN) + ") declared by the header line"}
+				return res
+			}
+			if v >= declaredN {
+				res.err = &ParseError{Line: lineNo, Col: toks[1].col,
+					Msg: "vertex " + strconv.Itoa(v) + " out of range [0," + strconv.Itoa(declaredN) + ") declared by the header line"}
+				return res
+			}
+		}
+		if u > res.maxV {
+			res.maxV = u
+		}
+		if v > res.maxV {
+			res.maxV = v
+		}
+		if maxEdges > 0 && len(res.edges) >= maxEdges {
+			res.extra++ // keep the chunking-independent total exact
+			continue
+		}
+		res.edges = append(res.edges, [2]int{u, v})
+	}
+	return res
+}
+
+// parseDIMACSCSR is the parallel DIMACS parser. The prologue consumes
+// comments up to and including the problem line; the edge lines after it
+// are chunked.
+func parseDIMACSCSR(data []byte, opt CSROptions) (*graph.CSR, error) {
+	n, pos, line, err := dimacsProlog(data, opt.MaxVertices, opt.MaxEdges)
+	if err != nil {
+		return nil, err
+	}
+	spans := splitChunks(data, pos, line, chunkCount(opt.Pool))
+	results := runChunks(spans, opt.Pool, func(sp chunkSpan) chunkResult {
+		return parseDIMACSChunk(data[sp.lo:sp.hi], sp.line, n, opt.MaxEdges)
+	})
+	chunks, _, total, perr := mergeChunks(results)
+	if perr != nil {
+		return nil, perr
+	}
+	if opt.MaxEdges > 0 && total > opt.MaxEdges {
+		return nil, fmt.Errorf("graphio: dimacs: edge count %d exceeds the limit %d", total, opt.MaxEdges)
+	}
+	return graph.CSRFromEdgeChunks(n, chunks), nil
+}
+
+// dimacsProlog scans up to and including the 'p' problem line, replicating
+// readDIMACS's validation and error messages for that prefix.
+func dimacsProlog(data []byte, maxVertices, maxEdges int) (n, pos, line int, err error) {
+	lineNo := 0
+	var toks []btok
+	for pos < len(data) {
+		lineNo++
+		lineBytes, next := nextLine(data, pos)
+		toks = splitFieldsBytes(lineBytes, toks)
+		if len(toks) == 0 {
+			pos = next
+			continue
+		}
+		switch {
+		case bytes.Equal(toks[0].s, []byte("c")):
+			pos = next
+		case bytes.Equal(toks[0].s, []byte("p")):
+			if len(toks) < 3 {
+				return 0, 0, 0, &ParseError{Line: lineNo, Col: toks[0].col,
+					Msg: "malformed problem line, want \"p edge <vertices> <edges>\""}
+			}
+			v, ok := parseIntBytes(toks[2].s)
+			if !ok || v < 0 {
+				return 0, 0, 0, &ParseError{Line: lineNo, Col: toks[2].col,
+					Msg: "expected a non-negative vertex count, got " + strconv.Quote(string(toks[2].s))}
+			}
+			if maxVertices > 0 && v > maxVertices {
+				return 0, 0, 0, &ParseError{Line: lineNo, Col: toks[2].col,
+					Msg: "vertex count " + strconv.Itoa(v) + " exceeds the limit " + strconv.Itoa(maxVertices)}
+			}
+			if len(toks) > 3 {
+				m, ok := parseIntBytes(toks[3].s)
+				if !ok {
+					return 0, 0, 0, &ParseError{Line: lineNo, Col: toks[3].col,
+						Msg: "expected an edge count, got " + strconv.Quote(string(toks[3].s))}
+				}
+				if maxEdges > 0 && m > maxEdges {
+					return 0, 0, 0, &ParseError{Line: lineNo, Col: toks[3].col,
+						Msg: "edge count " + strconv.Itoa(m) + " exceeds the limit " + strconv.Itoa(maxEdges)}
+				}
+			}
+			return v, next, lineNo + 1, nil
+		case bytes.Equal(toks[0].s, []byte("e")):
+			return 0, 0, 0, &ParseError{Line: lineNo, Col: toks[0].col,
+				Msg: "edge line before the \"p\" problem line"}
+		default:
+			return 0, 0, 0, &ParseError{Line: lineNo, Col: toks[0].col,
+				Msg: "unknown line type " + strconv.Quote(string(toks[0].s)) + " (want c, p, or e)"}
+		}
+	}
+	return 0, 0, 0, &ParseError{Line: lineNo + 1, Msg: "missing \"p edge <vertices> <edges>\" problem line"}
+}
+
+// parseDIMACSChunk parses one line-aligned chunk of DIMACS lines after the
+// problem line, replicating readDIMACS's semantics and error messages.
+func parseDIMACSChunk(data []byte, startLine, n, maxEdges int) chunkResult {
+	res := chunkResult{maxV: -1}
+	res.edges = make([][2]int, 0, len(data)/10)
+	lineNo := startLine - 1
+	var toks []btok
+	for pos := 0; pos < len(data); {
+		lineNo++
+		lineBytes, next := nextLine(data, pos)
+		pos = next
+		// One-pass fast path for the dominant "e u v" shape; anything else
+		// — including a range violation, whose error message needs token
+		// columns — falls back to the general tokenizer below.
+		if u, v, ok := fastDIMACSEdgeLine(lineBytes); ok &&
+			u >= 1 && v >= 1 && u <= n && v <= n {
+			if maxEdges > 0 && len(res.edges) >= maxEdges {
+				res.extra++
+				continue
+			}
+			res.edges = append(res.edges, [2]int{u - 1, v - 1})
+			continue
+		}
+		toks = splitFieldsBytes(lineBytes, toks)
+		if len(toks) == 0 {
+			continue
+		}
+		switch {
+		case bytes.Equal(toks[0].s, []byte("c")):
+			continue
+		case bytes.Equal(toks[0].s, []byte("p")):
+			res.err = &ParseError{Line: lineNo, Col: toks[0].col, Msg: "duplicate problem line"}
+			return res
+		case bytes.Equal(toks[0].s, []byte("e")):
+			if len(toks) != 3 {
+				res.err = &ParseError{Line: lineNo, Col: toks[0].col,
+					Msg: "expected an edge line \"e <u> <v>\", got " + strconv.Itoa(len(toks)) + " fields"}
+				return res
+			}
+			u, err := parseDIMACSVertexBytes(toks[1], lineNo, n)
+			if err != nil {
+				res.err = err
+				return res
+			}
+			v, err := parseDIMACSVertexBytes(toks[2], lineNo, n)
+			if err != nil {
+				res.err = err
+				return res
+			}
+			if maxEdges > 0 && len(res.edges) >= maxEdges {
+				res.extra++
+				continue
+			}
+			res.edges = append(res.edges, [2]int{u - 1, v - 1})
+		default:
+			res.err = &ParseError{Line: lineNo, Col: toks[0].col,
+				Msg: "unknown line type " + strconv.Quote(string(toks[0].s)) + " (want c, p, or e)"}
+			return res
+		}
+	}
+	return res
+}
+
+// fastEdgeLine parses the overwhelmingly common edge-list line shape —
+// two unsigned decimal fields, separating blanks, nothing else — in one
+// pass. ok=false means "use the general tokenizer", not "error": signs,
+// comments, '\r' between fields, surprising field counts, and
+// overflow-length digit runs all bail out so the slow path keeps sole
+// ownership of the error taxonomy.
+func fastEdgeLine(line []byte) (u, v int, ok bool) {
+	i := skipBlanks(line, 0)
+	u, i, ok = fastUint(line, i)
+	if !ok || i >= len(line) || (line[i] != ' ' && line[i] != '\t') {
+		return 0, 0, false
+	}
+	i = skipBlanks(line, i)
+	v, i, ok = fastUint(line, i)
+	if !ok {
+		return 0, 0, false
+	}
+	for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+		i++
+	}
+	return u, v, i == len(line)
+}
+
+// fastDIMACSEdgeLine is fastEdgeLine for the "e <u> <v>" shape. Range
+// checks stay with the caller (bailing to the slow path on violation, for
+// its column-accurate error).
+func fastDIMACSEdgeLine(line []byte) (u, v int, ok bool) {
+	i := skipBlanks(line, 0)
+	if i >= len(line) || line[i] != 'e' {
+		return 0, 0, false
+	}
+	i++
+	if i >= len(line) || (line[i] != ' ' && line[i] != '\t') {
+		return 0, 0, false
+	}
+	i = skipBlanks(line, i)
+	u, i, ok = fastUint(line, i)
+	if !ok || i >= len(line) || (line[i] != ' ' && line[i] != '\t') {
+		return 0, 0, false
+	}
+	i = skipBlanks(line, i)
+	v, i, ok = fastUint(line, i)
+	if !ok {
+		return 0, 0, false
+	}
+	for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+		i++
+	}
+	return u, v, i == len(line)
+}
+
+func skipBlanks(line []byte, i int) int {
+	for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+		i++
+	}
+	return i
+}
+
+// fastUint reads a run of decimal digits. Runs long enough to overflow
+// (>18 digits) report !ok and defer to parseIntBytes' exact handling.
+func fastUint(line []byte, i int) (int, int, bool) {
+	start := i
+	v := 0
+	for i < len(line) {
+		c := line[i] - '0'
+		if c > 9 {
+			break
+		}
+		v = v*10 + int(c)
+		i++
+	}
+	if i == start || i-start > 18 {
+		return 0, i, false
+	}
+	return v, i, true
+}
+
+// nextLine returns the line starting at pos (without its '\n') and the
+// offset just past it.
+func nextLine(data []byte, pos int) ([]byte, int) {
+	if nl := bytes.IndexByte(data[pos:], '\n'); nl >= 0 {
+		return data[pos : pos+nl], pos + nl + 1
+	}
+	return data[pos:], len(data)
+}
+
+// btok is splitFields' token over bytes: one whitespace-delimited field
+// with its 1-based starting column.
+type btok struct {
+	s   []byte
+	col int
+}
+
+// splitFieldsBytes tokenizes a line on ' ', '\t', '\r' — the byte-slice
+// twin of splitFields.
+func splitFieldsBytes(line []byte, toks []btok) []btok {
+	toks = toks[:0]
+	start := -1
+	for i := 0; i <= len(line); i++ {
+		var space bool
+		if i == len(line) {
+			space = true
+		} else {
+			c := line[i]
+			space = c == ' ' || c == '\t' || c == '\r'
+		}
+		switch {
+		case space && start >= 0:
+			toks = append(toks, btok{s: line[start:i], col: start + 1})
+			start = -1
+		case !space && start < 0:
+			start = i
+		}
+	}
+	return toks
+}
+
+// stripCommentBytes drops a trailing '#' or '%' comment.
+func stripCommentBytes(line []byte) []byte {
+	for i, c := range line {
+		if c == '#' || c == '%' {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// parseIntBytes parses a decimal integer with strconv.Atoi's accepted
+// syntax (optional sign, digits, no other bytes, overflow rejected) but
+// without the per-token string allocation — this is where the parallel
+// parser's single-core speedup over the Scanner+Atoi path comes from.
+func parseIntBytes(s []byte) (int, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	neg := false
+	if s[0] == '+' || s[0] == '-' {
+		neg = s[0] == '-'
+		s = s[1:]
+		if len(s) == 0 {
+			return 0, false
+		}
+	}
+	v := 0
+	for _, c := range s {
+		d := int(c - '0')
+		if d < 0 || d > 9 {
+			return 0, false
+		}
+		if v > (math.MaxInt-d)/10 {
+			return 0, false // overflow: Atoi reports ErrRange, both reject
+		}
+		v = v*10 + d
+	}
+	if neg {
+		return -v, true
+	}
+	return v, true
+}
+
+// parseVertexBytes parses a non-negative vertex index, with parseVertex's
+// exact error message.
+func parseVertexBytes(t btok, line int) (int, *ParseError) {
+	v, ok := parseIntBytes(t.s)
+	if !ok || v < 0 {
+		return 0, &ParseError{Line: line, Col: t.col,
+			Msg: "expected a non-negative vertex index, got " + strconv.Quote(string(t.s))}
+	}
+	return v, nil
+}
+
+// parseDIMACSVertexBytes parses a 1-based endpoint and range-checks it,
+// with parseDIMACSVertex's exact error messages.
+func parseDIMACSVertexBytes(t btok, line, n int) (int, *ParseError) {
+	v, ok := parseIntBytes(t.s)
+	if !ok || v < 1 {
+		return 0, &ParseError{Line: line, Col: t.col,
+			Msg: "expected a 1-based vertex index, got " + strconv.Quote(string(t.s))}
+	}
+	if v > n {
+		return 0, &ParseError{Line: line, Col: t.col,
+			Msg: "vertex " + strconv.Itoa(v) + " out of range [1," + strconv.Itoa(n) + "] declared by the problem line"}
+	}
+	return v, nil
+}

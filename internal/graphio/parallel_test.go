@@ -1,0 +1,228 @@
+package graphio
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"localmds/internal/graph"
+	"localmds/internal/runner"
+)
+
+// genEdgeListText renders a random messy edge list (comments, blank lines,
+// optional header) and returns it with the sequentially-parsed reference.
+func genEdgeListText(t *testing.T, seed int64, lines int, header bool) (string, *graph.CSR) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 200 + rng.Intn(200)
+	var b strings.Builder
+	b.WriteString("# generated test input\n")
+	if header {
+		fmt.Fprintf(&b, "%d\n", n)
+	}
+	for i := 0; i < lines; i++ {
+		switch rng.Intn(12) {
+		case 0:
+			b.WriteString("\n")
+		case 1:
+			b.WriteString("% a comment line\n")
+		case 2:
+			fmt.Fprintf(&b, "%d %d # trailing comment\n", rng.Intn(n), rng.Intn(n))
+		case 3:
+			fmt.Fprintf(&b, "  %d\t%d  \n", rng.Intn(n), rng.Intn(n))
+		default:
+			fmt.Fprintf(&b, "%d %d\n", rng.Intn(n), rng.Intn(n))
+		}
+	}
+	text := b.String()
+	g, err := Read(strings.NewReader(text), FormatEdgeList)
+	if err != nil {
+		t.Fatalf("sequential reference parse: %v", err)
+	}
+	return text, g.Freeze()
+}
+
+// genDIMACSText renders a random DIMACS file with the reference parse.
+func genDIMACSText(t *testing.T, seed int64, lines int) (string, *graph.CSR) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 150 + rng.Intn(150)
+	var b strings.Builder
+	b.WriteString("c generated test input\nc another comment\n")
+	fmt.Fprintf(&b, "p edge %d %d\n", n, lines)
+	for i := 0; i < lines; i++ {
+		if rng.Intn(10) == 0 {
+			b.WriteString("c interleaved comment\n")
+		}
+		fmt.Fprintf(&b, "e %d %d\n", rng.Intn(n)+1, rng.Intn(n)+1)
+	}
+	text := b.String()
+	g, err := Read(strings.NewReader(text), FormatDIMACS)
+	if err != nil {
+		t.Fatalf("sequential reference parse: %v", err)
+	}
+	return text, g.Freeze()
+}
+
+// Parallel parse determinism: the same graph, with byte-identical
+// fingerprint, at every worker count — and equal to the sequential
+// Read(...).Freeze() reference. minChunkBytes would keep these small
+// inputs in one chunk, so the inputs are padded past it by comment lines.
+func TestParseCSRWorkerCountInvariance(t *testing.T) {
+	pad := strings.Repeat("# padding to push the input well past one chunk\n", 3000)
+	cases := []struct {
+		name   string
+		format Format
+	}{
+		{"edgelist-header", FormatEdgeList},
+		{"edgelist-noheader", FormatEdgeList},
+		{"dimacs", FormatDIMACS},
+	}
+	for ci, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var text string
+			var want *graph.CSR
+			switch tc.name {
+			case "edgelist-header":
+				text, want = genEdgeListText(t, int64(ci)+1, 4000, true)
+				text = pad + text
+			case "edgelist-noheader":
+				text, want = genEdgeListText(t, int64(ci)+2, 4000, false)
+				text = pad + text
+			default:
+				text, want = genDIMACSText(t, int64(ci)+3, 4000)
+				text = strings.Repeat("c padding to push the input well past one chunk\n", 3000) + text
+			}
+			ref, err := Read(strings.NewReader(text), tc.format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = ref.Freeze()
+			for _, w := range []int{0, 1, 2, 4, 8} {
+				opt := CSROptions{}
+				if w > 0 {
+					pool := runner.NewPool(w, 4*w)
+					opt.Pool = pool
+					defer pool.Close()
+				}
+				got, err := ParseCSR([]byte(text), tc.format, opt)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if got.Fingerprint() != want.Fingerprint() {
+					t.Fatalf("workers=%d: fingerprint %s != sequential %s",
+						w, got.Fingerprint(), want.Fingerprint())
+				}
+			}
+		})
+	}
+}
+
+// The parallel parser reports the same first error as the sequential one,
+// at any worker count: chunk errors merge by smallest (line, column).
+func TestParseCSRErrorsMatchSequential(t *testing.T) {
+	pad := strings.Repeat("0 1\n", 40000) // multiple chunks of valid edges
+	cases := []struct {
+		name   string
+		format Format
+		text   string
+	}{
+		{"bad token late", FormatEdgeList, pad + "3 x\n" + pad},
+		{"three fields", FormatEdgeList, pad + "1 2 3\n" + pad},
+		{"negative vertex", FormatEdgeList, pad + "-4 1\n" + pad},
+		{"out of declared range", FormatEdgeList, "9\n" + pad + "1 9\n" + pad},
+		{"two errors keep first", FormatEdgeList, pad + "a b\n" + pad + "c d\n"},
+		{"dimacs bad endpoint", FormatDIMACS, "p edge 2 1\n" + strings.Repeat("e 1 2\n", 40000) + "e 1 99\n"},
+		{"dimacs duplicate p", FormatDIMACS, "p edge 2 1\n" + strings.Repeat("e 1 2\n", 40000) + "p edge 2 1\n"},
+		{"dimacs unknown type", FormatDIMACS, "p edge 2 1\n" + strings.Repeat("e 1 2\n", 40000) + "q 1 2\n"},
+	}
+	pool := runner.NewPool(4, 16)
+	defer pool.Close()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, wantErr := Read(strings.NewReader(tc.text), tc.format)
+			if wantErr == nil {
+				t.Fatal("reference parse unexpectedly succeeded")
+			}
+			for _, opt := range []CSROptions{{}, {Pool: pool}} {
+				_, err := ParseCSR([]byte(tc.text), tc.format, opt)
+				if err == nil {
+					t.Fatal("parallel parse unexpectedly succeeded")
+				}
+				if err.Error() != wantErr.Error() {
+					t.Fatalf("error %q != sequential %q", err, wantErr)
+				}
+			}
+		})
+	}
+}
+
+// ParseCSR handles the non-chunking formats through the same front door.
+func TestParseCSROtherFormats(t *testing.T) {
+	g := graph.FromEdgesUnchecked(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	want := g.Freeze()
+
+	jsonText := []byte(`{"n":4,"edges":[[0,1],[1,2],[2,3]]}`)
+	got, err := ParseCSR(jsonText, FormatJSON, CSROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatal("json fingerprint mismatch")
+	}
+
+	var bin bytes.Buffer
+	if err := WriteCSRBin(&bin, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ParseCSR(bin.Bytes(), FormatAuto, CSROptions{}) // magic sniff
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatal("csrbin fingerprint mismatch")
+	}
+}
+
+// ParseCSR enforces the same limits as ReadLimited.
+func TestParseCSRLimits(t *testing.T) {
+	if _, err := ParseCSR([]byte("1000001\n0 1\n"), FormatEdgeList, CSROptions{MaxVertices: 1_000_000}); err == nil {
+		t.Fatal("vertex limit not enforced")
+	}
+	if _, err := ParseCSR([]byte("0 1\n1 2\n2 3\n"), FormatEdgeList, CSROptions{MaxEdges: 2}); err == nil {
+		t.Fatal("edge limit not enforced")
+	}
+	if _, err := ParseCSR([]byte("p edge 4 3\n"), FormatDIMACS, CSROptions{MaxEdges: 2}); err == nil {
+		t.Fatal("declared edge limit not enforced")
+	}
+	if _, err := ParseCSR([]byte("0 1\n1 2\n"), FormatEdgeList, CSROptions{MaxEdges: 2}); err != nil {
+		t.Fatalf("at the limit rejected: %v", err)
+	}
+}
+
+// ParseCSRFile reads from disk with name-prefixed errors.
+func TestParseCSRFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/g.edges"
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParseCSRFile(path, FormatAuto, CSROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 3 {
+		t.Fatalf("n = %d, want 3", c.N())
+	}
+	bad := dir + "/bad.edges"
+	if err := os.WriteFile(bad, []byte("0 x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseCSRFile(bad, FormatEdgeList, CSROptions{}); err == nil ||
+		!strings.Contains(err.Error(), "bad.edges") {
+		t.Fatalf("error not name-prefixed: %v", err)
+	}
+}

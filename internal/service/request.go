@@ -46,6 +46,11 @@ type GeneratorSpec struct {
 // daemon before the queue's load shedding applies.
 const maxRequestVertices = 2_000_000
 
+// maxRequestEdges bounds the declared edge count the same way: a DIMACS
+// problem line (or a future binary payload) can state an m far larger than
+// the 64 MB body could ever deliver, and the parsers preallocate from it.
+const maxRequestEdges = 20_000_000
+
 // badRequestError marks client errors (HTTP 400) as opposed to solver
 // failures (HTTP 500).
 type badRequestError struct{ msg string }
@@ -92,7 +97,7 @@ func parseSolve(req *SolveRequest) (*parsedSolve, error) {
 	switch {
 	case len(req.Graph) > 0:
 		source = "graph"
-		g, err = graphio.ReadLimited(strings.NewReader(string(req.Graph)), graphio.FormatJSON, maxRequestVertices)
+		g, err = graphio.ReadLimited(strings.NewReader(string(req.Graph)), graphio.FormatJSON, maxRequestVertices, maxRequestEdges)
 		if err != nil {
 			return nil, badRequestf("graph: %v", err)
 		}
@@ -102,7 +107,7 @@ func parseSolve(req *SolveRequest) (*parsedSolve, error) {
 			return nil, badRequestf("%v", err)
 		}
 		source = "data/" + f.String()
-		g, err = graphio.ReadLimited(strings.NewReader(req.Data), f, maxRequestVertices)
+		g, err = graphio.ReadLimited(strings.NewReader(req.Data), f, maxRequestVertices, maxRequestEdges)
 		if err != nil {
 			return nil, badRequestf("data: %v", err)
 		}
