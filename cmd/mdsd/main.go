@@ -10,11 +10,15 @@
 //	     [-timeout D] [-pipeline-workers W]
 //	     [-auth-tokens FILE] [-rate R] [-rate-burst B] [-tenant-jobs N]
 //	     [-read-timeout D] [-idle-timeout D] [-admin-addr HOST:PORT]
-//	     [-log-requests]
+//	     [-log-requests] [-events-buffer N]
 //
 // Endpoints: POST /v1/solve, POST /v1/batch, GET /v1/jobs/{id},
-// GET /healthz, GET /metrics. With -auth-tokens (one "tenant:token" per
-// line) the /v1/* surface requires "Authorization: Bearer <token>";
+// GET /v1/jobs/{id}/trace (span tree, ?format=chrome for Perfetto),
+// GET /v1/events (SSE job-lifecycle stream, ring-buffered for late
+// subscribers, ?after=seq to resume), GET /healthz, GET /metrics
+// (latency histograms and runtime gauges included). With -auth-tokens
+// (one "tenant:token" per line) the /v1/* surface requires
+// "Authorization: Bearer <token>";
 // -rate/-rate-burst and -tenant-jobs bound each tenant with 429 +
 // Retry-After. -admin-addr exposes /debug/pprof/* (plus /healthz and
 // /metrics) on a separate operator listener. See EXPERIMENTS.md
@@ -41,6 +45,10 @@ import (
 	"localmds/internal/service"
 )
 
+// buildVersion is reported in the mdsd_build_info metric; override at
+// build time with -ldflags "-X main.buildVersion=v1.2.3".
+var buildVersion = "dev"
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "mdsd: %v\n", err)
@@ -64,6 +72,7 @@ func run(args []string, stdout io.Writer) error {
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle deadline (0: none)")
 	adminAddr := fs.String("admin-addr", "", "separate admin listener for /debug/pprof/, /healthz, /metrics (empty: disabled)")
 	logRequests := fs.Bool("log-requests", false, "emit one structured JSON log line per request to stderr")
+	eventsBuffer := fs.Int("events-buffer", 256, "job-lifecycle events retained for late /v1/events subscribers")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -82,6 +91,9 @@ func run(args []string, stdout io.Writer) error {
 	if *rate < 0 || *rateBurst < 0 || *tenantJobs < 0 {
 		return fmt.Errorf("-rate, -rate-burst, and -tenant-jobs must be >= 0")
 	}
+	if *eventsBuffer < 1 {
+		return fmt.Errorf("-events-buffer must be >= 1, got %d", *eventsBuffer)
+	}
 
 	cfg := service.Config{
 		Workers:          *workers,
@@ -92,6 +104,8 @@ func run(args []string, stdout io.Writer) error {
 		RatePerSec:       *rate,
 		RateBurst:        *rateBurst,
 		MaxJobsPerTenant: *tenantJobs,
+		EventBuffer:      *eventsBuffer,
+		Version:          buildVersion,
 	}
 	if *authTokens != "" {
 		tokens, err := service.LoadTokens(*authTokens)

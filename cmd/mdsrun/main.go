@@ -9,7 +9,7 @@
 //	       [-graph ding|cactus|tree|cycle|grid|outerplanar|cliquependants|gnp] \
 //	       [-in graph|-] [-format auto|json|edgelist|dimacs|csrbin] \
 //	       [-n N] [-t T] [-seed S] [-p P] [-r1 R] [-r2 R] [-workers W] \
-//	       [-opt] [-stages] [-dot out.dot]
+//	       [-opt] [-stages] [-trace out.json] [-dot out.dot]
 //
 // Without -opt, the exact optimum is a best-effort probe: instances under
 // the solver cap get a node-budgeted exact solve, and the "optimum:" line
@@ -32,7 +32,11 @@
 // optimum probe; -opt and -dot are rejected.
 //
 // With -alg alg1 or alg1-huge, -stages additionally prints the per-stage
-// wall-time/allocation/size table recorded in core.Alg1Result.StageStats.
+// wall-time/allocation/size table recorded in core.Alg1Result.StageStats,
+// and -trace out.json dumps the solve's span tree (stages plus per-
+// component solves) in Chrome trace-event format, loadable directly in
+// chrome://tracing or Perfetto. Other algorithms have no staged driver to
+// trace; -trace with them is a clean one-line error.
 package main
 
 import (
@@ -50,6 +54,7 @@ import (
 	"localmds/internal/graphio"
 	"localmds/internal/local"
 	"localmds/internal/mds"
+	"localmds/internal/obs"
 	"localmds/internal/runner"
 )
 
@@ -75,6 +80,7 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "parse/solve worker count for -alg alg1-huge (0: GOMAXPROCS)")
 	optFlag := fs.Bool("opt", false, "require the exact optimum and |S|/OPT ratio (error when the instance exceeds the solver cap)")
 	stages := fs.Bool("stages", false, "print the Algorithm 1 pipeline per-stage timing/size table (requires -alg alg1 or alg1-huge)")
+	traceOut := fs.String("trace", "", "write the solve span tree in Chrome trace-event format to this file (requires -alg alg1 or alg1-huge)")
 	dotOut := fs.String("dot", "", "write the graph with the solution highlighted to this DOT file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -99,12 +105,15 @@ func run(args []string, stdout io.Writer) error {
 	if *stages && *alg != "alg1" && *alg != "alg1-huge" {
 		return fmt.Errorf("-stages requires -alg alg1 or alg1-huge (the staged drivers), got -alg %s", *alg)
 	}
+	if *traceOut != "" && *alg != "alg1" && *alg != "alg1-huge" {
+		return fmt.Errorf("-trace requires -alg alg1 or alg1-huge (the staged drivers record spans), got -alg %s", *alg)
+	}
 	if *alg == "alg1-huge" {
 		if *optFlag || *dotOut != "" {
 			return fmt.Errorf("-alg alg1-huge does not support -opt or -dot (the huge path never materializes an adjacency graph)")
 		}
 		return runHuge(stdout, *in, *format, *kind, *n, *tParam, *p, *seed,
-			core.Params{R1: *r1, R2: *r2}, *workers, *stages)
+			core.Params{R1: *r1, R2: *r2}, *workers, *stages, *traceOut)
 	}
 
 	g, err := loadGraph(*in, *format, *kind, *n, *tParam, *p, *seed)
@@ -121,9 +130,17 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "graph: %s (diameter %d)\n", g, g.Diameter())
 	}
 
-	sol, stats, stageStats, err := solve(g, *alg, core.Params{R1: *r1, R2: *r2})
+	tr, root := newCLITrace(*traceOut)
+	sol, stats, stageStats, err := solve(g, *alg, core.Params{R1: *r1, R2: *r2}, core.SpanHooks(root))
 	if err != nil {
 		return err
+	}
+	if tr != nil {
+		root.End()
+		if err := writeChromeTrace(*traceOut, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote trace %s\n", *traceOut)
 	}
 	isMVC := *alg == "mvc-alg1" || *alg == "mvc-d2"
 	fmt.Fprintf(stdout, "algorithm: %s\nsolution size: %d\n", *alg, len(sol))
@@ -188,8 +205,34 @@ func optimum(g *graph.Graph, isMVC bool, maxNodes int64) (int, error) {
 // frozen CSR (mmap for csrbin files, parallel chunked parse for text),
 // run the partition-first driver on a bounded pool, and report against
 // the CSR — the adjacency-list *graph.Graph is never built.
+// newCLITrace creates the CLI solve trace, or (nil, nil) when -trace is
+// off. The fixed trace ID keeps span IDs deterministic run to run, so two
+// traces of the same instance diff cleanly.
+func newCLITrace(traceOut string) (*obs.Trace, *obs.Span) {
+	if traceOut == "" {
+		return nil, nil
+	}
+	return obs.NewTrace("mdsrun", "solve", obs.TraceOptions{MaxSpans: 1 << 16})
+}
+
+// writeChromeTrace dumps the span tree in Chrome trace-event format.
+func writeChromeTrace(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	return nil
+}
+
 func runHuge(stdout io.Writer, in, format, kind string, n, tParam int, p float64, seed int64,
-	params core.Params, workers int, stages bool) error {
+	params core.Params, workers int, stages bool, traceOut string) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -227,9 +270,17 @@ func runHuge(stdout io.Writer, in, format, kind string, n, tParam int, p float64
 
 	fmt.Fprintf(stdout, "graph: n=%d m=%d (csr%s, diameter skipped on the huge path)\n",
 		csr.N(), len(csr.Targets)/2, mappedTag(mapped))
-	res, err := core.Alg1Huge(csr, params, core.HugeOptions{Pool: pool})
+	tr, root := newCLITrace(traceOut)
+	res, err := core.Alg1Huge(csr, params, core.HugeOptions{Pool: pool, Hooks: core.SpanHooks(root)})
 	if err != nil {
 		return err
+	}
+	if tr != nil {
+		root.End()
+		if err := writeChromeTrace(traceOut, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote trace %s\n", traceOut)
 	}
 	fmt.Fprintf(stdout, "algorithm: alg1-huge\nsolution size: %d\n", len(res.S))
 	fmt.Fprintf(stdout, "valid dominating set: %v\n", mds.IsDominatingSetCSR(csr, res.S))
@@ -275,10 +326,10 @@ func loadGraph(in, format, kind string, n, tParam int, p float64, seed int64) (*
 	return graphio.ReadFile(in, f)
 }
 
-func solve(g *graph.Graph, alg string, p core.Params) ([]int, *local.Stats, core.StageStats, error) {
+func solve(g *graph.Graph, alg string, p core.Params, hooks core.TraceHooks) ([]int, *local.Stats, core.StageStats, error) {
 	switch alg {
 	case "alg1":
-		res, err := core.Alg1(g, p)
+		res, err := core.Alg1Pipeline(g, p, core.PipelineOptions{Hooks: hooks})
 		if err != nil {
 			return nil, nil, nil, err
 		}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chromeDump is the shape -trace writes: the Chrome trace-event top-level
+// object with complete ("X") events.
+type chromeDump struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		TID  int     `json:"tid"`
+	} `json:"traceEvents"`
+	Metadata struct {
+		TraceID string `json:"trace_id"`
+	} `json:"metadata"`
+}
+
+func readTrace(t *testing.T, path string) chromeDump {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump chromeDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("trace not valid JSON: %v\n%s", err, data)
+	}
+	return dump
+}
+
+func assertStagedTrace(t *testing.T, dump chromeDump) {
+	t.Helper()
+	names := make(map[string]int)
+	for _, ev := range dump.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want X (complete)", ev.Name, ev.Ph)
+		}
+		names[ev.Name]++
+	}
+	for _, stage := range []string{"solve", "TwinReduce", "Cuts", "Partition", "ComponentSolve", "Stitch"} {
+		if names[stage] == 0 {
+			t.Errorf("trace missing a %q event; got %v", stage, names)
+		}
+	}
+}
+
+func TestRunTraceAlg1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	if err := run([]string{"-graph", "cactus", "-n", "60", "-alg", "alg1", "-trace", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote trace "+path) {
+		t.Errorf("output missing trace confirmation:\n%s", out.String())
+	}
+	dump := readTrace(t, path)
+	assertStagedTrace(t, dump)
+	if dump.Metadata.TraceID != "mdsrun" {
+		t.Errorf("trace_id = %q, want mdsrun", dump.Metadata.TraceID)
+	}
+}
+
+func TestRunTraceAlg1Huge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	if err := run([]string{"-graph", "cactus", "-n", "60", "-alg", "alg1-huge", "-trace", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	assertStagedTrace(t, readTrace(t, path))
+}
+
+func TestRunTraceRejectsUntracedAlgs(t *testing.T) {
+	for _, alg := range []string{"greedy", "d2", "tree", "exact", "alg1-local"} {
+		var out strings.Builder
+		err := run([]string{"-graph", "cycle", "-n", "12", "-alg", alg, "-trace", "/tmp/nope.json"}, &out)
+		if err == nil || !strings.Contains(err.Error(), "-trace requires -alg alg1 or alg1-huge") {
+			t.Errorf("-alg %s -trace: err = %v, want the staged-drivers error", alg, err)
+		}
+	}
+}

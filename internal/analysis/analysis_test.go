@@ -17,6 +17,7 @@ func TestSeedFlow(t *testing.T)  { atest.Run(t, analysis.SeedFlow, "seedflow", a
 func TestErrPath(t *testing.T)   { atest.Run(t, analysis.ErrPath, "errpath", all) }
 func TestBoundedGo(t *testing.T) { atest.Run(t, analysis.BoundedGo, "boundedgo", all) }
 func TestEdgesIter(t *testing.T) { atest.Run(t, analysis.EdgesIter, "edgesiter", all) }
+func TestSpanClose(t *testing.T) { atest.Run(t, analysis.SpanClose, "spanclose", all) }
 
 // DirectiveCheck has no scope flag: it validates directives everywhere.
 func TestDirectiveCheck(t *testing.T) {

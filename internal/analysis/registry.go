@@ -11,6 +11,7 @@ func Analyzers() []*goanalysis.Analyzer {
 		ErrPath,
 		BoundedGo,
 		EdgesIter,
+		SpanClose,
 		DirectiveCheck,
 	}
 }

@@ -27,7 +27,14 @@ const (
 	// must come from a bounded pool. internal/runner is deliberately
 	// absent: it implements the sanctioned pool primitives.
 	goroutineScope = "localmds/internal/core,localmds/internal/mds," +
-		"localmds/internal/local,localmds/internal/service,localmds/cmd/mdsd"
+		"localmds/internal/local,localmds/internal/service,localmds/internal/obs," +
+		"localmds/cmd/mdsd"
+
+	// spanScope is everywhere spans are minted: the obs package itself,
+	// the pipeline drivers that accept TraceHooks, the daemon, and the
+	// CLI's -trace path.
+	spanScope = "localmds/internal/obs,localmds/internal/core," +
+		"localmds/internal/service,localmds/cmd/mdsd,localmds/cmd/mdsrun"
 
 	// hotPathPkgs is where allocation-heavy Graph.Edges() calls are
 	// banned in favor of VisitEdges/AppendEdges.

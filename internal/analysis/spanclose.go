@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// SpanClose enforces the tracing-hygiene invariant: every span started
+// with StartChild (or the root span returned by NewTrace) must be ended
+// with End/EndAt, or handed off to an owner that will end it (passed to
+// a call, returned, stored in a field/variable, sent on a channel). A
+// span that is started and then dropped on the floor stays open forever
+// in the trace view and silently corrupts the Chrome export's lane
+// packing — exactly the kind of bug that only shows up when someone
+// finally opens a trace in anger.
+//
+// The analyzer is syntactic and per-function: a span that textually
+// escapes the function is trusted to be somebody else's problem. The
+// two certain bugs it catches are (a) discarding the span result
+// outright and (b) binding it to a local that is never ended and never
+// escapes.
+var SpanClose = &goanalysis.Analyzer{
+	Name:     "spanclose",
+	Doc:      "flag spans that are started but never ended or handed off",
+	Requires: []*goanalysis.Analyzer{inspect.Analyzer},
+	Run:      runSpanClose,
+}
+
+func init() {
+	SpanClose.Flags.String("scope", spanScope,
+		"comma-separated package-path prefixes to check (empty = all)")
+}
+
+// spanStartNames are the calls that mint a span the caller must own.
+// NewTrace is special-cased: the span is its second result.
+var spanStartNames = map[string]bool{"StartChild": true}
+
+// spanEndNames are the methods that retire a span.
+var spanEndNames = map[string]bool{"End": true, "EndAt": true}
+
+func runSpanClose(pass *goanalysis.Pass) (any, error) {
+	scope := pass.Analyzer.Flags.Lookup("scope").Value.String()
+	if !inScope(scope, pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ix := newIgnoreIndex(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || inTestFile(pass, fd.Pos()) {
+			return
+		}
+		checkSpanOwnership(pass, ix, fd.Body)
+	})
+	return nil, nil
+}
+
+// spanVar is one local binding produced by a span-start call.
+type spanVar struct {
+	name    string
+	defPos  token.Pos // position of the defining ident, skipped as a "use"
+	closed  bool      // saw name.End() / name.EndAt(...)
+	escaped bool      // saw the value handed to code outside this function
+}
+
+// checkSpanOwnership runs the per-function analysis: collect span
+// bindings, then classify every other use of those names as a close, an
+// escape, or noise (attribute setters, child starts).
+func checkSpanOwnership(pass *goanalysis.Pass, ix *ignoreIndex, body *ast.BlockStmt) {
+	vars := map[string]*spanVar{}
+
+	// Pass 1: find span-start calls and how their results are bound.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && isSpanStart(call) {
+				ix.report(pass, "spanclose", call.Pos(),
+					"span from StartChild is discarded: bind it and call End/EndAt on every path")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				switch {
+				case isSpanStart(call) && i < len(st.Lhs):
+					bindSpan(pass, ix, vars, st.Lhs[i], call,
+						"span from StartChild assigned to _: bind it and call End/EndAt, or drop the call")
+				case isNewTrace(call) && len(st.Lhs) == 2 && len(st.Rhs) == 1:
+					// tr, root := NewTrace(...) — the root span is result 2.
+					bindSpan(pass, ix, vars, st.Lhs[1], call,
+						"root span from NewTrace assigned to _: the trace view stays empty without it")
+				}
+			}
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+
+	// Pass 2: classify the remaining uses of each tracked name.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if v := vars[id.Name]; v != nil && id.Pos() != v.defPos {
+						if spanEndNames[sel.Sel.Name] {
+							v.closed = true
+						}
+						// Other methods (SetAttr, StartChild) neither
+						// close nor transfer ownership.
+					}
+				}
+			}
+			for _, arg := range node.Args {
+				markEscape(vars, arg)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				markEscape(vars, res)
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range node.Rhs {
+				markEscape(vars, rhs)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					markEscape(vars, kv.Value)
+				} else {
+					markEscape(vars, elt)
+				}
+			}
+		case *ast.SendStmt:
+			markEscape(vars, node.Value)
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				markEscape(vars, node.X)
+			}
+		}
+		return true
+	})
+
+	for _, v := range vars {
+		if !v.closed && !v.escaped {
+			ix.report(pass, "spanclose", v.defPos, fmt.Sprintf(
+				"span %s is started but never ended in this function: call %s.End() "+
+					"(defer is fine) or hand it to an owner that will", v.name, v.name))
+		}
+	}
+}
+
+// bindSpan records the LHS ident of a span-producing assignment, or
+// reports a blank-identifier discard.
+func bindSpan(pass *goanalysis.Pass, ix *ignoreIndex, vars map[string]*spanVar, lhs ast.Expr, call *ast.CallExpr, blankMsg string) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		// h.span = tr.StartChild(...) — stored in a field, owner's problem.
+		return
+	}
+	if id.Name == "_" {
+		ix.report(pass, "spanclose", call.Pos(), blankMsg)
+		return
+	}
+	// Rebinding the same name (shadowing, loop reuse) keeps the latest
+	// definition; the heuristic stays per-name, not per-object.
+	vars[id.Name] = &spanVar{name: id.Name, defPos: id.Pos()}
+}
+
+// markEscape flags expr's ident (if tracked) as handed off.
+func markEscape(vars map[string]*spanVar, expr ast.Expr) {
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		if v := vars[id.Name]; v != nil && id.Pos() != v.defPos {
+			v.escaped = true
+		}
+	}
+}
+
+// isSpanStart reports whether call is a StartChild call (method or
+// package-level).
+func isSpanStart(call *ast.CallExpr) bool {
+	return spanStartNames[calleeName(call)]
+}
+
+// isNewTrace reports whether call mints a trace with a root span.
+func isNewTrace(call *ast.CallExpr) bool {
+	return calleeName(call) == "NewTrace"
+}
+
+// calleeName extracts the bare callee name of a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}

@@ -1,0 +1,90 @@
+// Package spanclose exercises the spanclose analyzer: spans started
+// with StartChild (or minted as NewTrace roots) must be ended or handed
+// off to an owner.
+package spanclose
+
+// Span and Trace mimic the obs package's tracing surface; the analyzer
+// matches on bare callee names, not types.
+type Span struct{ open bool }
+
+func (s *Span) StartChild(name string) *Span { return &Span{open: true} }
+func (s *Span) End()                         { s.open = false }
+func (s *Span) EndAt(unixNanos int64)        { s.open = false }
+func (s *Span) SetAttr(k, v string)          {}
+
+type Trace struct{ root *Span }
+
+func NewTrace(id, rootName string) (*Trace, *Span) {
+	root := &Span{open: true}
+	return &Trace{root: root}, root
+}
+
+// leaky starts a span and drops it: the classic open-forever bug.
+func leaky(parent *Span) {
+	sp := parent.StartChild("stage") // want `span sp is started but never ended`
+	sp.SetAttr("k", "v")
+}
+
+// discarded never even binds the span.
+func discarded(parent *Span) {
+	parent.StartChild("stage") // want `span from StartChild is discarded`
+}
+
+// blanked binds the span to _, which is the same bug spelled louder.
+func blanked(parent *Span) {
+	_ = parent.StartChild("stage") // want `span from StartChild assigned to _`
+}
+
+// rootDropped discards the root span, leaving an empty trace view.
+func rootDropped() *Trace {
+	tr, _ := NewTrace("job-1", "job") // want `root span from NewTrace assigned to _`
+	return tr
+}
+
+// deferred is the canonical clean shape.
+func deferred(parent *Span) {
+	sp := parent.StartChild("stage")
+	defer sp.End()
+	sp.SetAttr("k", "v")
+}
+
+// endedAt closes with an explicit timestamp.
+func endedAt(parent *Span, now int64) {
+	sp := parent.StartChild("stage")
+	sp.EndAt(now)
+}
+
+// handedBack transfers ownership to the caller.
+func handedBack(parent *Span) *Span {
+	sp := parent.StartChild("stage")
+	return sp
+}
+
+// handedToOwner transfers ownership via a call argument.
+func handedToOwner(parent *Span, keep func(*Span)) {
+	sp := parent.StartChild("stage")
+	keep(sp)
+}
+
+// storedInField parks the span on a struct for a later End.
+type holder struct{ span *Span }
+
+func storedInField(h *holder, parent *Span) {
+	sp := parent.StartChild("stage")
+	h.span = sp
+}
+
+// rootKept ends the NewTrace root itself.
+func rootKept() *Trace {
+	tr, root := NewTrace("job-2", "job")
+	defer root.End()
+	return tr
+}
+
+// justified carries a suppression with a reason.
+func justified(parent *Span, spans *[]*Span) {
+	//mdsvet:ignore spanclose -- span deliberately left open; the trace test asserts open spans render
+	sp := parent.StartChild("stage")
+	*spans = append(*spans, nil)
+	_ = sp.open
+}

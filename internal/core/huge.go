@@ -35,6 +35,9 @@ type HugeOptions struct {
 	// Pool fans the per-component solves out; nil solves them in the
 	// calling goroutine. The result is identical either way.
 	Pool Submitter
+	// Hooks receives stage/component span callbacks; nil (the default)
+	// disables tracing at zero cost. Hooks never change the result.
+	Hooks TraceHooks
 }
 
 // Alg1Huge runs Algorithm 1 on a frozen CSR view, partition-first: the
@@ -52,6 +55,7 @@ func Alg1Huge(csr *graph.CSR, p Params, opt HugeOptions) (*Alg1Result, error) {
 	if csr.N() == 0 {
 		return &Alg1Result{}, nil
 	}
+	hooks := opt.Hooks
 
 	res := &Alg1Result{}
 	sample := make([]metrics.Sample, 1)
@@ -61,7 +65,7 @@ func Alg1Huge(csr *graph.CSR, p Params, opt HugeOptions) (*Alg1Result, error) {
 	// input has no twins this is a scan, not a copy.
 	var rcsr *graph.CSR
 	var active []int
-	res.runStage("TwinReduce", "active vertices", sample, func() int {
+	res.runStage(hooks, "TwinReduce", "active vertices", sample, func() int {
 		rcsr, active = graph.TwinReduceCSR(csr)
 		return len(active)
 	})
@@ -71,7 +75,7 @@ func Alg1Huge(csr *graph.CSR, p Params, opt HugeOptions) (*Alg1Result, error) {
 
 	// Cuts: steps 2 and 3 on the reduced CSR.
 	var xLocal, iLocal []int
-	res.runStage("Cuts", "cut vertices", sample, func() int {
+	res.runStage(hooks, "Cuts", "cut vertices", sample, func() int {
 		xLocal = cuts.LocalOneCutsCSR(rcsr, p.R1, arena)
 		iLocal = cuts.LocallyInterestingVerticesCSR(rcsr, p.R2, arena)
 		return len(xLocal) + len(iLocal)
@@ -81,7 +85,7 @@ func Alg1Huge(csr *graph.CSR, p Params, opt HugeOptions) (*Alg1Result, error) {
 	var s1Local, uLocal []int
 	var dominated []bool
 	var comps [][]int32
-	res.runStage("Partition", "residual components", sample, func() int {
+	res.runStage(hooks, "Partition", "residual components", sample, func() int {
 		s1Local = graph.SortedUnion(xLocal, iLocal)
 		var rest []int32
 		dominated, uLocal, rest = partitionResidual(rcsr, s1Local)
@@ -98,7 +102,7 @@ func Alg1Huge(csr *graph.CSR, p Params, opt HugeOptions) (*Alg1Result, error) {
 	// copy its component, and gives it back (buffers intact, ready for
 	// reuse) when done.
 	outs := make([]compOut, len(comps))
-	res.runStage("ComponentSolve", "solved components", sample, func() int {
+	res.runStage(hooks, "ComponentSolve", "solved components", sample, func() int {
 		w := 1
 		if opt.Pool != nil {
 			w = opt.Pool.Workers()
@@ -107,14 +111,14 @@ func Alg1Huge(csr *graph.CSR, p Params, opt HugeOptions) (*Alg1Result, error) {
 			w = len(comps)
 		}
 		if opt.Pool == nil || w <= 1 {
-			solver := componentSolver{csr: rcsr, dominated: dominated, p: p, arena: graph.NewArena()}
+			solver := componentSolver{csr: rcsr, dominated: dominated, p: p, arena: graph.NewArena(), hooks: hooks}
 			for i := range comps {
-				outs[i] = solver.solve(comps[i])
+				outs[i] = solver.solve(i, comps[i])
 			}
 		} else {
 			solvers := make(chan *componentSolver, w)
 			for k := 0; k < w; k++ {
-				solvers <- &componentSolver{csr: rcsr, dominated: dominated, p: p, arena: graph.NewArena()}
+				solvers <- &componentSolver{csr: rcsr, dominated: dominated, p: p, arena: graph.NewArena(), hooks: hooks}
 			}
 			var wg sync.WaitGroup
 			for i := range comps {
@@ -122,7 +126,7 @@ func Alg1Huge(csr *graph.CSR, p Params, opt HugeOptions) (*Alg1Result, error) {
 				opt.Pool.Submit(func() {
 					defer wg.Done()
 					s := <-solvers
-					outs[i] = s.solve(comps[i])
+					outs[i] = s.solve(i, comps[i])
 					solvers <- s
 				})
 			}
@@ -143,7 +147,7 @@ func Alg1Huge(csr *graph.CSR, p Params, opt HugeOptions) (*Alg1Result, error) {
 	}
 
 	// Stitch: identical to the pipeline's stage, via the shared helper.
-	res.runStage("Stitch", "solution vertices", sample, func() int {
+	res.runStage(hooks, "Stitch", "solution vertices", sample, func() int {
 		return stitchSolution(res, p, active, s1Local, comps, outs)
 	})
 	return res, nil

@@ -78,6 +78,9 @@ type PipelineOptions struct {
 	// Workers bounds the ComponentSolve fan-out; <= 0 means GOMAXPROCS.
 	// The result is identical for every worker count.
 	Workers int
+	// Hooks receives stage/component span callbacks; nil (the default)
+	// disables tracing at zero cost. Hooks never change the result.
+	Hooks TraceHooks
 }
 
 // Alg1 runs the centralized reference implementation of Algorithm 1
@@ -102,21 +105,30 @@ func Alg1(g *graph.Graph, p Params) (*Alg1Result, error) {
 const allocMetric = "/gc/heap/allocs:objects"
 
 // runStage times fn, recording its wall clock, allocation delta, and
-// returned size statistic under the given stage name.
-func (res *Alg1Result) runStage(name, unit string, sample []metrics.Sample, fn func() int) {
+// returned size statistic under the given stage name. hooks (nil = off)
+// observes the stage's span boundaries.
+func (res *Alg1Result) runStage(hooks TraceHooks, name, unit string, sample []metrics.Sample, fn func() int) {
+	var endSpan func(StageStat)
+	if hooks != nil {
+		endSpan = hooks.StageStart(name)
+	}
 	metrics.Read(sample)
 	before := sample[0].Value.Uint64()
 	start := time.Now()
 	items := fn()
 	wall := time.Since(start)
 	metrics.Read(sample)
-	res.StageStats = append(res.StageStats, StageStat{
+	stat := StageStat{
 		Name:   name,
 		Wall:   wall,
 		Allocs: sample[0].Value.Uint64() - before,
 		Items:  items,
 		Unit:   unit,
-	})
+	}
+	res.StageStats = append(res.StageStats, stat)
+	if endSpan != nil {
+		endSpan(stat)
+	}
 }
 
 // compOut is one component's ComponentSolve result, indexed by component so
@@ -146,6 +158,7 @@ func Alg1Pipeline(g *graph.Graph, p Params, opt PipelineOptions) (*Alg1Result, e
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	hooks := opt.Hooks
 
 	res := &Alg1Result{}
 	sample := make([]metrics.Sample, 1)
@@ -155,7 +168,7 @@ func Alg1Pipeline(g *graph.Graph, p Params, opt PipelineOptions) (*Alg1Result, e
 	// the reduced graph; every later stage reads only the CSR view.
 	var csr *graph.CSR
 	var active []int
-	res.runStage("TwinReduce", "active vertices", sample, func() int {
+	res.runStage(hooks, "TwinReduce", "active vertices", sample, func() int {
 		var reduced *graph.Graph
 		reduced, active = g.TwinReduction()
 		csr = reduced.Freeze()
@@ -167,7 +180,7 @@ func Alg1Pipeline(g *graph.Graph, p Params, opt PipelineOptions) (*Alg1Result, e
 
 	// Cuts: steps 2 and 3 on the reduced graph.
 	var xLocal, iLocal []int
-	res.runStage("Cuts", "cut vertices", sample, func() int {
+	res.runStage(hooks, "Cuts", "cut vertices", sample, func() int {
 		xLocal = cuts.LocalOneCutsCSR(csr, p.R1, arena)
 		iLocal = cuts.LocallyInterestingVerticesCSR(csr, p.R2, arena)
 		return len(xLocal) + len(iLocal)
@@ -178,7 +191,7 @@ func Alg1Pipeline(g *graph.Graph, p Params, opt PipelineOptions) (*Alg1Result, e
 	var s1Local, uLocal []int
 	var dominated []bool
 	var comps [][]int32
-	res.runStage("Partition", "residual components", sample, func() int {
+	res.runStage(hooks, "Partition", "residual components", sample, func() int {
 		s1Local = graph.SortedUnion(xLocal, iLocal)
 		var rest []int32
 		dominated, uLocal, rest = partitionResidual(csr, s1Local)
@@ -194,15 +207,15 @@ func Alg1Pipeline(g *graph.Graph, p Params, opt PipelineOptions) (*Alg1Result, e
 	// independent, so they fan out over the pool; each worker owns its
 	// arena and scratch CSR, and results land in a component-indexed slice.
 	outs := make([]compOut, len(comps))
-	res.runStage("ComponentSolve", "solved components", sample, func() int {
+	res.runStage(hooks, "ComponentSolve", "solved components", sample, func() int {
 		w := workers
 		if w > len(comps) {
 			w = len(comps)
 		}
 		if w <= 1 {
-			solver := componentSolver{csr: csr, dominated: dominated, p: p, arena: graph.NewArena()}
+			solver := componentSolver{csr: csr, dominated: dominated, p: p, arena: graph.NewArena(), hooks: hooks}
 			for i := range comps {
-				outs[i] = solver.solve(comps[i])
+				outs[i] = solver.solve(i, comps[i])
 			}
 		} else {
 			idxCh := make(chan int)
@@ -212,9 +225,9 @@ func Alg1Pipeline(g *graph.Graph, p Params, opt PipelineOptions) (*Alg1Result, e
 				//mdsvet:ignore boundedgo -- bounded fan-out: exactly w <= PipelineOptions.Workers goroutines, joined below; core cannot import runner.Pool (cycle)
 				go func() {
 					defer wg.Done()
-					solver := componentSolver{csr: csr, dominated: dominated, p: p, arena: graph.NewArena()}
+					solver := componentSolver{csr: csr, dominated: dominated, p: p, arena: graph.NewArena(), hooks: hooks}
 					for i := range idxCh {
-						outs[i] = solver.solve(comps[i])
+						outs[i] = solver.solve(i, comps[i])
 					}
 				}()
 			}
@@ -239,7 +252,7 @@ func Alg1Pipeline(g *graph.Graph, p Params, opt PipelineOptions) (*Alg1Result, e
 	}
 
 	// Stitch: assemble the solution and diagnostics in component order.
-	res.runStage("Stitch", "solution vertices", sample, func() int {
+	res.runStage(hooks, "Stitch", "solution vertices", sample, func() int {
 		return stitchSolution(res, p, active, s1Local, comps, outs)
 	})
 	return res, nil
@@ -306,15 +319,28 @@ type componentSolver struct {
 	dominated []bool
 	p         Params
 	arena     *graph.Arena
-	sub       graph.CSR // scratch induced-subgraph buffers, reused per component
-	target    []int     // scratch local-target buffer
+	hooks     TraceHooks // nil = tracing off
+	sub       graph.CSR  // scratch induced-subgraph buffers, reused per component
+	target    []int      // scratch local-target buffer
 }
 
 // solve handles one residual component: collect its undominated vertices,
 // build the induced CSR, measure the diameter, and pick a minimum
 // dominating set for the targets (exactly up to MaxBruteComponent, greedily
-// beyond it).
-func (cs *componentSolver) solve(comp []int32) compOut {
+// beyond it). index is the component's position in the partition, used
+// only to label its trace span.
+func (cs *componentSolver) solve(index int, comp []int32) compOut {
+	if cs.hooks != nil {
+		end := cs.hooks.ComponentStart(index, len(comp))
+		out := cs.solveBody(comp)
+		end(len(out.chosen), out.fallback)
+		return out
+	}
+	return cs.solveBody(comp)
+}
+
+// solveBody is the hook-free body of solve.
+func (cs *componentSolver) solveBody(comp []int32) compOut {
 	// comp is sorted, so local index i corresponds to vertex comp[i] and
 	// the monotone relabeling matches graph.Induced's canonical one.
 	target := cs.target[:0]

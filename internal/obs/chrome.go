@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// This file exports a Trace in the Chrome trace-event format (the JSON
+// array of "X" complete events that chrome://tracing and Perfetto load
+// directly). Sequential spans nest on one track; concurrent spans (the
+// component-solve fan-out) are packed onto extra tracks by a greedy
+// interval assignment so overlapping regions never share a lane.
+
+// chromeEvent is one complete ("ph": "X") trace event. Timestamps and
+// durations are microseconds, per the format.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object form, which lets viewers show
+// display-friendly metadata alongside the events.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	Meta        struct {
+		TraceID string `json:"trace_id"`
+		Dropped int    `json:"dropped_spans,omitempty"`
+	} `json:"metadata"`
+}
+
+// WriteChromeTrace renders the trace for chrome://tracing / Perfetto.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	view := t.View()
+	var flat []flatSpan
+	if view.Root != nil {
+		flatten(*view.Root, 0, &flat)
+	}
+	for _, o := range view.Orphans {
+		flatten(o, 1, &flat)
+	}
+
+	// Greedy lane packing. "X" events render correctly on one tid only
+	// when their intervals strictly nest, so each lane keeps a stack of
+	// its open spans: a span may join a lane once every span that has
+	// ended by its start is popped, if the remaining top is one of its
+	// ancestors (or the lane is empty). Sequential traces stay on lane 0;
+	// overlapping component solves spill onto fresh lanes.
+	sort.SliceStable(flat, func(i, j int) bool {
+		if flat[i].startUS != flat[j].startUS {
+			return flat[i].startUS < flat[j].startUS
+		}
+		return flat[i].depth < flat[j].depth
+	})
+	parentOf := make(map[string]string, len(flat))
+	for i := range flat {
+		parentOf[flat[i].id] = flat[i].parent
+	}
+	isAncestor := func(anc, id string) bool {
+		for p := parentOf[id]; p != ""; p = parentOf[p] {
+			if p == anc {
+				return true
+			}
+		}
+		return false
+	}
+	type openSpan struct {
+		id    string
+		endUS float64
+	}
+	var lanes [][]openSpan
+	lane := make(map[string]int, len(flat))
+	for i := range flat {
+		s := &flat[i]
+		tryLane := func(l int) bool {
+			st := lanes[l]
+			for len(st) > 0 && st[len(st)-1].endUS <= s.startUS {
+				st = st[:len(st)-1]
+			}
+			if len(st) > 0 && !isAncestor(st[len(st)-1].id, s.id) {
+				lanes[l] = st
+				return false
+			}
+			lanes[l] = append(st, openSpan{id: s.id, endUS: s.startUS + s.durUS})
+			lane[s.id] = l
+			return true
+		}
+		placed := false
+		if p, ok := lane[s.parent]; ok {
+			placed = tryLane(p) // prefer nesting under the parent
+		}
+		for l := 0; !placed && l < len(lanes); l++ {
+			placed = tryLane(l)
+		}
+		if !placed {
+			lanes = append(lanes, nil)
+			tryLane(len(lanes) - 1)
+		}
+	}
+
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(flat))}
+	out.Meta.TraceID = view.TraceID
+	out.Meta.Dropped = view.Dropped
+	base := 0.0
+	if len(flat) > 0 {
+		base = flat[0].startUS
+	}
+	for _, s := range flat {
+		ev := chromeEvent{
+			Name: s.name,
+			Cat:  "solve",
+			Ph:   "X",
+			TS:   s.startUS - base,
+			Dur:  s.durUS,
+			PID:  1,
+			TID:  lane[s.id] + 1,
+		}
+		if len(s.attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.attrs))
+			for _, a := range s.attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// flatSpan is one span flattened for lane assignment.
+type flatSpan struct {
+	id, parent, name string
+	startUS, durUS   float64
+	depth            int
+	attrs            []Attr
+}
+
+func flatten(v SpanView, depth int, out *[]flatSpan) {
+	var walk func(v SpanView, parentID string, depth int)
+	walk = func(v SpanView, parentID string, depth int) {
+		*out = append(*out, flatSpan{
+			id:      v.ID,
+			parent:  parentID,
+			name:    v.Name,
+			startUS: float64(v.Start.UnixNano()) / 1e3,
+			durUS:   float64(v.DurNS) / 1e3,
+			depth:   depth,
+			attrs:   v.Attrs,
+		})
+		for _, c := range v.Children {
+			walk(c, v.ID, depth+1)
+		}
+	}
+	walk(v, "", depth)
+}

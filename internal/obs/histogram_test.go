@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the injectable clock used across the obs tests: Now
+// returns the current instant, Advance moves it.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestHistogramBucketMath drives a histogram with a fake clock measuring
+// synthetic latencies and checks the bucket assignment edge cases: exact
+// bound values land in their bucket (le is inclusive), values over the
+// top bound land in +Inf only, and cumulative counts are non-decreasing.
+func TestHistogramBucketMath(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	clock := newFakeClock()
+
+	observeLatency := func(d time.Duration) {
+		start := clock.Now()
+		clock.Advance(d)
+		h.ObserveDuration(clock.Now().Sub(start))
+	}
+
+	observeLatency(500 * time.Microsecond) // -> le=0.001
+	observeLatency(1 * time.Millisecond)   // exact bound -> le=0.001 (inclusive)
+	observeLatency(2 * time.Millisecond)   // -> le=0.01
+	observeLatency(time.Second)            // exact top bound -> le=1
+	observeLatency(30 * time.Second)       // -> +Inf only
+
+	cum, sum, count := h.Snapshot()
+	wantCum := []uint64{2, 3, 3, 4, 5}
+	if len(cum) != len(wantCum) {
+		t.Fatalf("cumulative buckets = %v, want %v", cum, wantCum)
+	}
+	for i := range wantCum {
+		if cum[i] != wantCum[i] {
+			t.Errorf("bucket %d cumulative = %d, want %d (all: %v)", i, cum[i], wantCum[i], cum)
+		}
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Errorf("cumulative counts decrease at %d: %v", i, cum)
+		}
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	wantSum := 0.0005 + 0.001 + 0.002 + 1 + 30
+	if math.Abs(sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", sum, wantSum)
+	}
+}
+
+func TestHistogramRenderCanonicalOrder(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 2.5})
+	h.Observe(0.1)
+	h.Observe(1)
+	h.Observe(100)
+	var b strings.Builder
+	h.Render(&b, "x_seconds", "test histogram")
+	want := `# HELP x_seconds test histogram
+# TYPE x_seconds histogram
+x_seconds_bucket{le="0.5"} 1
+x_seconds_bucket{le="2.5"} 2
+x_seconds_bucket{le="+Inf"} 3
+x_seconds_sum 101.1
+x_seconds_count 3
+`
+	if b.String() != want {
+		t.Errorf("render:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestHistogramVecRender(t *testing.T) {
+	v := NewHistogramVec("req_seconds", "by route and outcome", []string{"route", "outcome"}, []float64{1})
+	v.With("/v1/solve", "2xx").Observe(0.5)
+	v.With("/v1/solve", "2xx").Observe(2)
+	v.With("/healthz", "2xx").Observe(0.1)
+	var b strings.Builder
+	v.Render(&b)
+	out := b.String()
+	want := `# HELP req_seconds by route and outcome
+# TYPE req_seconds histogram
+req_seconds_bucket{route="/healthz",outcome="2xx",le="1"} 1
+req_seconds_bucket{route="/healthz",outcome="2xx",le="+Inf"} 1
+req_seconds_sum{route="/healthz",outcome="2xx"} 0.1
+req_seconds_count{route="/healthz",outcome="2xx"} 1
+req_seconds_bucket{route="/v1/solve",outcome="2xx",le="1"} 1
+req_seconds_bucket{route="/v1/solve",outcome="2xx",le="+Inf"} 2
+req_seconds_sum{route="/v1/solve",outcome="2xx"} 2.5
+req_seconds_count{route="/v1/solve",outcome="2xx"} 2
+`
+	if out != want {
+		t.Errorf("render:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%10) / 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	cum, _, count := h.Snapshot()
+	if count != workers*per {
+		t.Errorf("count = %d, want %d", count, workers*per)
+	}
+	if cum[len(cum)-1] != workers*per {
+		t.Errorf("+Inf cumulative = %d, want %d", cum[len(cum)-1], workers*per)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v): no panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}

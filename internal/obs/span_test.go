@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeDeterministicIDs(t *testing.T) {
+	build := func() TraceView {
+		clock := newFakeClock()
+		tr, root := NewTrace("job-000042", "job", TraceOptions{Now: clock.Now})
+		clock.Advance(time.Millisecond)
+		q := root.StartChild("queue_wait")
+		clock.Advance(2 * time.Millisecond)
+		q.End()
+		solve := root.StartChild("solve")
+		for i := 0; i < 3; i++ {
+			c := solve.StartChild("component")
+			clock.Advance(time.Millisecond)
+			c.End()
+		}
+		solve.End()
+		root.End()
+		return tr.View()
+	}
+	a, b := build(), build()
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("two identical runs produced different traces:\n%s\n%s", aj, bj)
+	}
+	if a.Root == nil || a.Root.Name != "job" {
+		t.Fatalf("missing root: %+v", a)
+	}
+	if len(a.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(a.Root.Children))
+	}
+	solve := a.Root.Children[1]
+	if len(solve.Children) != 3 {
+		t.Fatalf("solve children = %d, want 3", len(solve.Children))
+	}
+	// Sibling spans with the same name still get distinct IDs.
+	seen := map[string]bool{}
+	for _, c := range solve.Children {
+		if seen[c.ID] {
+			t.Errorf("duplicate span ID %s", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestTraceMaxSpansDrops(t *testing.T) {
+	tr, root := NewTrace("t", "root", TraceOptions{MaxSpans: 3})
+	for i := 0; i < 10; i++ {
+		c := root.StartChild("child")
+		c.End() // ending a dropped span must be safe
+	}
+	if got := tr.Dropped(); got != 8 {
+		t.Errorf("dropped = %d, want 8 (cap 3 = root + 2 children)", got)
+	}
+	v := tr.View()
+	if len(v.Root.Children) != 2 {
+		t.Errorf("retained children = %d, want 2", len(v.Root.Children))
+	}
+	if v.Dropped != 8 {
+		t.Errorf("view dropped = %d, want 8", v.Dropped)
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr, root := NewTrace("t", "root", TraceOptions{MaxSpans: 4096})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c := root.StartChild("c")
+				c.SetAttr("i", i)
+				c.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	v := tr.View()
+	if len(v.Root.Children) != 800 {
+		t.Errorf("children = %d, want 800", len(v.Root.Children))
+	}
+	ids := map[string]bool{}
+	for _, c := range v.Root.Children {
+		if ids[c.ID] {
+			t.Errorf("duplicate concurrent span ID %s", c.ID)
+		}
+		ids[c.ID] = true
+	}
+}
+
+func TestOpenSpansMarked(t *testing.T) {
+	clock := newFakeClock()
+	_, root := NewTrace("t", "root", TraceOptions{Now: clock.Now})
+	child := root.StartChild("never_ended")
+	clock.Advance(5 * time.Millisecond)
+	v, _ := child.snapshot(clock.Now())
+	if !v.Open {
+		t.Error("un-ended span not marked open")
+	}
+	if v.DurNS != (5 * time.Millisecond).Nanoseconds() {
+		t.Errorf("open span duration = %d, want 5ms", v.DurNS)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	clock := newFakeClock()
+	tr, root := NewTrace("job-000001", "job", TraceOptions{Now: clock.Now})
+	clock.Advance(time.Millisecond)
+	solve := root.StartChild("solve")
+	// Two overlapping "concurrent" component spans: both open before
+	// either ends, so they must land on different lanes.
+	c1 := solve.StartChild("component 0")
+	c2 := solve.StartChild("component 1")
+	clock.Advance(time.Millisecond)
+	c1.End()
+	c2.End()
+	solve.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+		Metadata struct {
+			TraceID string `json:"trace_id"`
+		} `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if out.Metadata.TraceID != "job-000001" {
+		t.Errorf("trace_id = %q", out.Metadata.TraceID)
+	}
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(out.TraceEvents))
+	}
+	tids := map[string]int{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		tids[ev.Name] = ev.TID
+	}
+	if tids["component 0"] == tids["component 1"] {
+		t.Errorf("overlapping components share lane %d", tids["component 0"])
+	}
+	// job and solve nest (solve inside job), so they share the base lane.
+	if tids["job"] != tids["solve"] {
+		t.Errorf("nested job/solve on different lanes: %v", tids)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr, root := NewTrace("t", "root", TraceOptions{})
+	root.SetAttr("source", "generator:ding")
+	root.End()
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"trace_id":"t"`) {
+		t.Errorf("marshal missing trace_id: %s", data)
+	}
+	if !strings.Contains(string(data), `"source"`) {
+		t.Errorf("marshal missing attr: %s", data)
+	}
+}

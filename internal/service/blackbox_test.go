@@ -10,6 +10,7 @@
 package service_test
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -365,4 +367,113 @@ func writeBenchReport(t *testing.T, scenarios []scenarioResult) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", out)
+}
+
+// wireEvent is the subset of the /v1/events JSON payload the black-box
+// ordering test cares about.
+type wireEvent struct {
+	Seq   uint64 `json:"seq"`
+	Type  string `json:"type"`
+	JobID string `json:"job_id"`
+}
+
+// TestEventsStreamUnderLoad checks the /v1/events contract from the
+// outside, under concurrent traffic: one SSE subscriber attached before
+// the load sees a strictly increasing seq, the full
+// submitted→started→done lifecycle for every distinct job, and exactly
+// one cached event per hot-cache repeat — no gaps, no reordering, no
+// stray terminal states.
+func TestEventsStreamUnderLoad(t *testing.T) {
+	d := startDaemon(t, service.Config{Workers: 4, QueueDepth: 128, CacheEntries: 64})
+
+	resp, err := benchClient.Get(d.base + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q, want text/event-stream", ct)
+	}
+
+	events := make(chan wireEvent, 256)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		var data string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "": // frame boundary
+				if data == "" {
+					continue
+				}
+				var ev wireEvent
+				if err := json.Unmarshal([]byte(data), &ev); err == nil {
+					events <- ev
+				}
+				data = ""
+			}
+		}
+	}()
+
+	// Cold wave: distinct graphs fired concurrently, each a full
+	// submitted/started/done lifecycle.
+	const distinct = 16
+	var wg sync.WaitGroup
+	for i := 0; i < distinct; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			if code := post(d.base, "", solveBody("ding", 60, seed)); code != http.StatusOK {
+				t.Errorf("cold solve seed %d: status %d", seed, code)
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	// Hot wave: the same graphs again, each a pure cache hit.
+	for i := 0; i < distinct; i++ {
+		if code := post(d.base, "", solveBody("ding", 60, int64(i+1))); code != http.StatusOK {
+			t.Errorf("hot solve seed %d: status %d", i+1, code)
+		}
+	}
+
+	perJob := map[string][]string{}
+	var cachedN, doneN int
+	var lastSeq uint64
+	deadline := time.After(30 * time.Second)
+	for cachedN < distinct || doneN < distinct {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatalf("stream closed early: %d done, %d cached", doneN, cachedN)
+			}
+			if ev.Seq <= lastSeq {
+				t.Fatalf("seq went %d -> %d: events reordered or duplicated", lastSeq, ev.Seq)
+			}
+			lastSeq = ev.Seq
+			if ev.Type == "cached" {
+				cachedN++
+				continue
+			}
+			perJob[ev.JobID] = append(perJob[ev.JobID], ev.Type)
+			if ev.Type == "done" {
+				doneN++
+			}
+		case <-deadline:
+			t.Fatalf("timed out: %d/%d done, %d/%d cached, jobs %v",
+				doneN, distinct, cachedN, distinct, perJob)
+		}
+	}
+
+	if len(perJob) != distinct {
+		t.Errorf("lifecycle events for %d jobs, want %d", len(perJob), distinct)
+	}
+	want := []string{"submitted", "started", "done"}
+	for id, got := range perJob {
+		if !slices.Equal(got, want) {
+			t.Errorf("job %s lifecycle = %v, want %v", id, got, want)
+		}
+	}
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"fmt"
+	"time"
 
 	"localmds/internal/core"
 	"localmds/internal/graph"
@@ -42,8 +43,9 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key solveKey
-	res *SolveOutcome
+	key      solveKey
+	res      *SolveOutcome
+	storedAt time.Time // when the outcome was computed, for cache-age reporting
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -54,16 +56,18 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-// get returns the cached outcome for key, refreshing its recency.
-func (c *resultCache) get(key solveKey) (*SolveOutcome, bool) {
+// get returns the cached outcome for key and its age (time since the
+// outcome was stored), refreshing its recency.
+func (c *resultCache) get(key solveKey) (*SolveOutcome, time.Duration, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	e := el.Value.(*cacheEntry)
+	return e.res, time.Since(e.storedAt), true
 }
 
 // put stores the outcome for key, evicting the least recently used entry
@@ -72,11 +76,12 @@ func (c *resultCache) put(key solveKey, res *SolveOutcome) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		e := el.Value.(*cacheEntry)
+		e.res, e.storedAt = res, time.Now()
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, storedAt: time.Now()})
 	for c.ll.Len() > c.cap {
 		back := c.ll.Back()
 		c.ll.Remove(back)

@@ -28,15 +28,15 @@ func TestCacheHitMissEviction(t *testing.T) {
 	for i, k := range keys[:3] {
 		c.put(k, &SolveOutcome{N: i})
 	}
-	if _, ok := c.get(keys[0]); !ok {
+	if _, _, ok := c.get(keys[0]); !ok {
 		t.Fatal("expected hit on keys[0]")
 	}
 	// keys[1] is now LRU; inserting a 4th evicts it.
 	c.put(keys[3], &SolveOutcome{N: 3})
-	if _, ok := c.get(keys[1]); ok {
+	if _, _, ok := c.get(keys[1]); ok {
 		t.Fatal("keys[1] should have been evicted (LRU)")
 	}
-	if _, ok := c.get(keys[0]); !ok {
+	if _, _, ok := c.get(keys[0]); !ok {
 		t.Fatal("keys[0] was refreshed and must survive")
 	}
 	evictions, entries := c.stats()
@@ -45,7 +45,7 @@ func TestCacheHitMissEviction(t *testing.T) {
 	}
 	// Re-putting an existing key refreshes, never duplicates.
 	c.put(keys[0], &SolveOutcome{N: 99})
-	if out, ok := c.get(keys[0]); !ok || out.N != 99 {
+	if out, _, ok := c.get(keys[0]); !ok || out.N != 99 {
 		t.Fatalf("refresh put: got %+v, %v", out, ok)
 	}
 	if _, entries := c.stats(); entries != 3 {
@@ -69,7 +69,7 @@ func TestCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for round := 0; round < 200; round++ {
 				k := keys[(round*7+w*5)%len(keys)]
-				if out, ok := c.get(k); ok {
+				if out, _, ok := c.get(k); ok {
 					_ = out.N // entries are immutable; read only
 				} else {
 					c.put(k, &SolveOutcome{N: round})

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// handleEvents is GET /v1/events: a Server-Sent Events stream of job
+// lifecycle events (submitted, started, cached, done, failed, shed). The
+// stream replays ring-buffered history first — all retained events, or
+// only those after ?after=<seq> for a reconnecting client — then live
+// events as they publish. Each frame carries the bus sequence number as
+// the SSE id, so clients resume with Last-Event-ID semantics via ?after.
+// The stream ends when the client disconnects or the daemon drains; a
+// subscriber too slow for its buffer loses events rather than stalling
+// the solve path.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported by this connection"})
+		return
+	}
+	var after uint64
+	if raw := r.URL.Query().Get("after"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "after: want a sequence number, got " + raw})
+			return
+		}
+		after = v
+	}
+	sub := s.bus.Subscribe(after, 128)
+	defer sub.Cancel()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	//mdsvet:ignore errpath -- SSE streams bytes, not a JSON body; writeJSON would close the stream
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	for {
+		select {
+		case ev, ok := <-sub.C:
+			if !ok {
+				// Bus closed: the daemon drained and every terminal event
+				// has been delivered.
+				fmt.Fprintf(w, "event: end\ndata: {\"reason\":\"draining\"}\n\n")
+				fl.Flush()
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -145,6 +145,35 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.view())
 }
 
+// handleJobTrace is GET /v1/jobs/{id}/trace: the job's span tree. The
+// default JSON form nests children under the root "job" span;
+// ?format=chrome renders Chrome trace-event JSON for chrome://tracing and
+// Perfetto. Jobs that never computed (cache hits, shed submissions) have
+// no trace and answer 404.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + id})
+		return
+	}
+	tr, _ := j.Trace()
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: "job " + id + " has no trace (served from cache or rejected before running)"})
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, tr.View())
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteChromeTrace(w)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "format: want json or chrome, got " + format})
+	}
+}
+
 // handleHealthz is GET /healthz. It stays unauthenticated and unlimited
 // so load-balancer probes keep working whatever the tenant config, and
 // reports "draining" once shutdown has begun.

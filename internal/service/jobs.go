@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"localmds/internal/core"
+	"localmds/internal/obs"
 )
 
 // Job statuses, in lifecycle order.
@@ -41,6 +42,13 @@ type Job struct {
 	outcome  *SolveOutcome
 	err      error
 	done     chan struct{}
+
+	// trace/span hold the job's span tree (rooted at the request) when the
+	// job actually computed; cached and shed jobs have none. cacheAge is
+	// the served entry's age for cache hits.
+	trace    *obs.Trace
+	span     *obs.Span
+	cacheAge time.Duration
 }
 
 // JobView is the JSON snapshot served by GET /v1/jobs/{id} and embedded
@@ -54,6 +62,7 @@ type JobView struct {
 	Started       *time.Time `json:"started,omitempty"`
 	Finished      *time.Time `json:"finished,omitempty"`
 	Error         string     `json:"error,omitempty"`
+	CacheAgeS     *float64   `json:"cache_age_s,omitempty"` // served entry's age, cache hits only
 	*SolveOutcome            // flattened when done
 }
 
@@ -79,20 +88,50 @@ func (j *Job) view() JobView {
 	if j.err != nil {
 		v.Error = j.err.Error()
 	}
+	if j.cached {
+		age := j.cacheAge.Seconds()
+		v.CacheAgeS = &age
+	}
 	if j.status == StatusDone {
 		v.SolveOutcome = j.outcome
 	}
 	return v
 }
 
+// setTrace attaches the job's span tree (leader jobs only, before the job
+// is visible to pool workers).
+func (j *Job) setTrace(tr *obs.Trace, root *obs.Span) {
+	j.mu.Lock()
+	j.trace, j.span = tr, root
+	j.mu.Unlock()
+}
+
+// Trace returns the job's span tree, or nil for jobs that never computed
+// (cache hits, shed or quota-rejected submissions).
+func (j *Job) Trace() (*obs.Trace, *obs.Span) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace, j.span
+}
+
+// setCacheAge records the served entry's age on a cache-hit job.
+func (j *Job) setCacheAge(age time.Duration) {
+	j.mu.Lock()
+	j.cacheAge = age
+	j.mu.Unlock()
+}
+
 // Done returns the channel closed when the job finishes.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-func (j *Job) markRunning() {
+func (j *Job) markRunning() (started time.Time, queueWait time.Duration) {
 	j.mu.Lock()
 	j.status = StatusRunning
 	j.started = time.Now()
+	started = j.started
+	queueWait = started.Sub(j.created)
 	j.mu.Unlock()
+	return started, queueWait
 }
 
 func (j *Job) finish(out *SolveOutcome, err error) {

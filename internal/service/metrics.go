@@ -150,5 +150,7 @@ func (s *Server) renderMetrics() string {
 	for _, name := range order {
 		fmt.Fprintf(&b, "mdsd_stage_runs_total{stage=%q} %d\n", name, runs[name])
 	}
+
+	s.renderObsMetrics(&b)
 	return b.String()
 }

@@ -229,6 +229,14 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so SSE streams (/v1/events)
+// keep flushing through the middleware stack.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // observe is the outermost middleware: it tags every request with an ID
 // (honoring a client-supplied X-Request-Id), mirrors it on the response,
 // and emits one structured log line per request when access logging is
@@ -245,6 +253,7 @@ func (s *Server) observe(next http.Handler) http.Handler {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
+		s.observeRequest(r.URL.Path, rec.status, time.Since(start))
 		if s.logger != nil {
 			s.logger.Info("request",
 				"id", id,

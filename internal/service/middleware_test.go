@@ -238,7 +238,7 @@ func TestTenantJobQuota429(t *testing.T) {
 	s, ts := startServer(t, Config{Workers: 2, QueueDepth: 8, MaxJobsPerTenant: 1})
 	block := make(chan struct{})
 	started := make(chan struct{}, 8)
-	s.solve = func(ps *parsedSolve) (*core.Alg1Result, error) {
+	s.solve = func(ps *parsedSolve, hooks core.TraceHooks) (*core.Alg1Result, error) {
 		started <- struct{}{}
 		<-block
 		return &core.Alg1Result{}, nil
@@ -415,7 +415,7 @@ func TestDrainWhileBusy(t *testing.T) {
 	s, ts := startServer(t, Config{Workers: 2, QueueDepth: 8})
 	block := make(chan struct{})
 	started := make(chan struct{}, 8)
-	s.solve = func(ps *parsedSolve) (*core.Alg1Result, error) {
+	s.solve = func(ps *parsedSolve, hooks core.TraceHooks) (*core.Alg1Result, error) {
 		started <- struct{}{}
 		<-block
 		return &core.Alg1Result{}, nil

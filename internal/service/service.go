@@ -44,6 +44,7 @@ import (
 
 	"localmds/internal/core"
 	"localmds/internal/mds"
+	"localmds/internal/obs"
 	"localmds/internal/runner"
 )
 
@@ -83,6 +84,16 @@ type Config struct {
 	// AccessLog receives one structured (JSON) log line per request when
 	// non-nil; requests are tagged with X-Request-Id either way.
 	AccessLog io.Writer
+	// EventBuffer caps the /v1/events ring buffer replayed to late
+	// subscribers; <= 0 selects 256.
+	EventBuffer int
+	// Version is reported in the mdsd_build_info metric; empty selects
+	// "dev".
+	Version string
+	// TraceMaxSpans caps retained spans per job trace (huge instances can
+	// produce one span per residual component); <= 0 selects 4096. Spans
+	// over the cap are counted, not stored.
+	TraceMaxSpans int
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +108,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobRetention <= 0 {
 		c.JobRetention = 1024
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
+	}
+	if c.Version == "" {
+		c.Version = "dev"
+	}
+	if c.TraceMaxSpans <= 0 {
+		c.TraceMaxSpans = 4096
 	}
 	return c
 }
@@ -133,9 +153,21 @@ type Server struct {
 	cacheMisses atomic.Int64
 	cacheDedups atomic.Int64
 
+	// Observability core (obs.go): the job-lifecycle event bus behind
+	// /v1/events, latency histograms rendered into /metrics, the runtime
+	// gauge collector, and the busy-worker gauge.
+	bus         *obs.Bus
+	collector   *obs.Collector
+	reqLatency  *obs.HistogramVec // route × outcome class
+	queueWait   *obs.Histogram
+	solveWall   *obs.Histogram
+	stageDur    *obs.HistogramVec // pipeline stage
+	busyWorkers atomic.Int64
+
 	// solve runs one pipeline execution; tests stub it to exercise queue
-	// shedding, timeouts, and drain deterministically.
-	solve func(ps *parsedSolve) (*core.Alg1Result, error)
+	// shedding, timeouts, and drain deterministically. hooks (nil when the
+	// job's trace was dropped) receives stage/component span callbacks.
+	solve func(ps *parsedSolve, hooks core.TraceHooks) (*core.Alg1Result, error)
 }
 
 // errQueueFull marks load-shed jobs so every waiter — the leader and any
@@ -172,8 +204,9 @@ func New(cfg Config) *Server {
 	if cfg.AccessLog != nil {
 		s.logger = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
-	s.solve = func(ps *parsedSolve) (*core.Alg1Result, error) {
-		return core.Alg1Pipeline(ps.g, ps.params, core.PipelineOptions{Workers: s.cfg.PipelineWorkers})
+	s.initObs()
+	s.solve = func(ps *parsedSolve, hooks core.TraceHooks) (*core.Alg1Result, error) {
+		return core.Alg1Pipeline(ps.g, ps.params, core.PipelineOptions{Workers: s.cfg.PipelineWorkers, Hooks: hooks})
 	}
 	return s
 }
@@ -193,6 +226,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Drain() {
 	s.BeginDrain()
 	s.pool.Close()
+	// Every accepted job is terminal now, so subscribers have every
+	// terminal event buffered before their streams close.
+	s.bus.Close()
+	s.collector.Stop()
 }
 
 // Close aborts in-flight jobs via context cancellation, then drains.
@@ -200,6 +237,8 @@ func (s *Server) Close() {
 	s.BeginDrain()
 	s.cancel()
 	s.pool.Close()
+	s.bus.Close()
+	s.collector.Stop()
 }
 
 // Computations returns the number of pipeline executions the server has
@@ -222,6 +261,7 @@ const (
 // the queue, counted against the tenant's quota until it terminates.
 // tn may be nil (no quota accounting, e.g. internal callers).
 func (s *Server) submit(ps *parsedSolve, tn *tenantState) (j *Job, rej submitRejection) {
+	tenant := tenantName(tn)
 	if s.draining.Load() {
 		j := s.jobs.create(ps.source, false)
 		j.finish(nil, errDraining)
@@ -229,13 +269,19 @@ func (s *Server) submit(ps *parsedSolve, tn *tenantState) (j *Job, rej submitRej
 		if tn != nil {
 			tn.shed.Add(1)
 		}
+		s.publishShed(j, tenant, ps, errDraining)
 		return j, rejectShed
 	}
-	if out, ok := s.cache.get(ps.key); ok {
+	if out, age, ok := s.cache.get(ps.key); ok {
 		s.cacheHits.Add(1)
 		j := s.jobs.create(ps.source, true)
+		j.setCacheAge(age)
 		j.finish(out, nil)
 		s.jobs.recordTerminal(StatusDone)
+		s.bus.Publish(obs.Event{
+			Type: obs.EventCached, JobID: j.ID, Tenant: tenant, Source: ps.source,
+			Fingerprint: ps.key.fp.String(), CacheAgeS: age.Seconds(),
+		})
 		return j, rejectNone
 	}
 	// Deduplicate concurrent identical requests onto one in-flight job.
@@ -247,17 +293,30 @@ func (s *Server) submit(ps *parsedSolve, tn *tenantState) (j *Job, rej submitRej
 	s.cacheMisses.Add(1)
 	if tn != nil && !tn.tryAcquireJob() {
 		s.inflight.leave(ps.key)
-		j.finish(nil, fmt.Errorf("%w: tenant %q already has %d jobs in flight", errTenantQuota, tn.name, tn.maxJobs))
+		err := fmt.Errorf("%w: tenant %q already has %d jobs in flight", errTenantQuota, tn.name, tn.maxJobs)
+		j.finish(nil, err)
 		s.jobs.recordTerminal(StatusFailed)
 		tn.quotaRejected.Add(1)
+		s.publishShed(j, tenant, ps, err)
 		return j, rejectQuota
 	}
+	// The job's span tree is rooted at its deterministic ID, so two runs
+	// of the same request sequence trace identically.
+	tr, root := obs.NewTrace(j.ID, "job", obs.TraceOptions{MaxSpans: s.cfg.TraceMaxSpans})
+	root.SetStart(jobCreated(j))
+	root.SetAttr("source", ps.source)
+	root.SetAttr("fingerprint", ps.key.fp.String())
+	j.setTrace(tr, root)
+	s.bus.Publish(obs.Event{
+		Type: obs.EventSubmitted, JobID: j.ID, Tenant: tenant, Source: ps.source,
+		Fingerprint: ps.key.fp.String(),
+	})
 	accepted := s.pool.TrySubmit(func() {
 		defer s.inflight.leave(ps.key)
 		if tn != nil {
 			defer tn.releaseJob()
 		}
-		s.runJob(j, ps)
+		s.runJob(j, ps, tenant)
 	})
 	if !accepted {
 		s.inflight.leave(ps.key)
@@ -265,25 +324,81 @@ func (s *Server) submit(ps *parsedSolve, tn *tenantState) (j *Job, rej submitRej
 			tn.releaseJob()
 			tn.shed.Add(1)
 		}
-		j.finish(nil, fmt.Errorf("%w (%d jobs pending)", errQueueFull, s.pool.Pending()))
+		err := fmt.Errorf("%w (%d jobs pending)", errQueueFull, s.pool.Pending())
+		j.finish(nil, err)
 		s.jobs.recordTerminal(StatusFailed)
+		s.publishShed(j, tenant, ps, err)
 		return j, rejectShed
 	}
 	return j, rejectNone
 }
 
-// runJob executes one queued solve on a pool worker.
-func (s *Server) runJob(j *Job, ps *parsedSolve) {
-	j.markRunning()
-	res, err := runner.WithTimeout(s.baseCtx, s.cfg.JobTimeout, func() (*core.Alg1Result, error) {
-		return s.solve(ps)
+// jobCreated reads the job's creation instant.
+func jobCreated(j *Job) time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.created
+}
+
+// tenantName renders the event/tenant label for a possibly-nil tenant.
+func tenantName(tn *tenantState) string {
+	if tn == nil {
+		return ""
+	}
+	return tn.name
+}
+
+// publishShed emits the rejection event shared by the draining, quota,
+// and queue-full paths.
+func (s *Server) publishShed(j *Job, tenant string, ps *parsedSolve, err error) {
+	s.bus.Publish(obs.Event{
+		Type: obs.EventShed, JobID: j.ID, Tenant: tenant, Source: ps.source,
+		Fingerprint: ps.key.fp.String(), Error: err.Error(),
 	})
+}
+
+// runJob executes one queued solve on a pool worker.
+func (s *Server) runJob(j *Job, ps *parsedSolve, tenant string) {
+	s.busyWorkers.Add(1)
+	defer s.busyWorkers.Add(-1)
+	started, queueWait := j.markRunning()
+	s.queueWait.Observe(queueWait.Seconds())
+	_, root := j.Trace()
+	var solveSpan *obs.Span
+	if root != nil {
+		qs := root.StartChild("queue wait")
+		qs.SetStart(jobCreated(j))
+		qs.EndAt(started)
+		solveSpan = root.StartChild("solve")
+	}
+	s.bus.Publish(obs.Event{
+		Type: obs.EventStarted, JobID: j.ID, Tenant: tenant, Source: ps.source,
+		Fingerprint: ps.key.fp.String(), QueueWaitS: queueWait.Seconds(),
+	})
+	res, err := runner.WithTimeout(s.baseCtx, s.cfg.JobTimeout, func() (*core.Alg1Result, error) {
+		return s.solve(ps, core.SpanHooks(solveSpan))
+	})
+	wall := time.Since(started)
+	s.solveWall.Observe(wall.Seconds())
+	if solveSpan != nil {
+		solveSpan.End()
+	}
+	if root != nil {
+		root.End()
+	}
 	if err != nil {
 		j.finish(nil, err)
 		s.jobs.recordTerminal(StatusFailed)
+		s.bus.Publish(obs.Event{
+			Type: obs.EventFailed, JobID: j.ID, Tenant: tenant, Source: ps.source,
+			Fingerprint: ps.key.fp.String(), SolveWallS: wall.Seconds(), Error: err.Error(),
+		})
 		return
 	}
 	s.stages.record(res.StageStats)
+	for _, st := range res.StageStats {
+		s.stageDur.With(st.Name).ObserveDuration(st.Wall)
+	}
 	out := &SolveOutcome{
 		Fingerprint: ps.key.fp.String(),
 		N:           ps.g.N(),
@@ -295,6 +410,10 @@ func (s *Server) runJob(j *Job, ps *parsedSolve) {
 	s.cache.put(ps.key, out)
 	j.finish(out, nil)
 	s.jobs.recordTerminal(StatusDone)
+	s.bus.Publish(obs.Event{
+		Type: obs.EventDone, JobID: j.ID, Tenant: tenant, Source: ps.source,
+		Fingerprint: ps.key.fp.String(), SolveWallS: wall.Seconds(),
+	})
 }
 
 // inflightMap deduplicates concurrent identical solves: the first request
@@ -337,6 +456,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("/", s.handleNotFound)

@@ -315,7 +315,7 @@ func TestQueueFullSheds(t *testing.T) {
 	s, ts := startServer(t, Config{Workers: 1, QueueDepth: 1})
 	block := make(chan struct{})
 	started := make(chan struct{}, 8)
-	s.solve = func(ps *parsedSolve) (*core.Alg1Result, error) {
+	s.solve = func(ps *parsedSolve, hooks core.TraceHooks) (*core.Alg1Result, error) {
 		started <- struct{}{}
 		<-block
 		return &core.Alg1Result{}, nil
@@ -358,7 +358,7 @@ func TestJobTimeout(t *testing.T) {
 	defer close(release)
 	var stall atomic.Bool
 	stall.Store(true)
-	s.solve = func(ps *parsedSolve) (*core.Alg1Result, error) {
+	s.solve = func(ps *parsedSolve, hooks core.TraceHooks) (*core.Alg1Result, error) {
 		if stall.Load() {
 			<-release
 		}
