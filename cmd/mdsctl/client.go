@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// retryPolicy drives the client's capped exponential backoff. The jitter
+// source is seeded deterministically (-retry-seed) so a scripted run —
+// CI's crash-recovery smoke, a bisect session — retries at reproducible
+// instants.
+type retryPolicy struct {
+	attempts int           // total tries, not retries; >= 1
+	base     time.Duration // first backoff step
+	cap      time.Duration // backoff ceiling, Retry-After included
+	perTry   time.Duration // per-attempt timeout, 0 = none
+	jitter   *rand.Rand
+}
+
+// backoff returns the delay before attempt i (0-based; backoff(0) is the
+// delay after the first failure): base·2^i with up to 25% added jitter,
+// capped.
+func (p *retryPolicy) backoff(i int) time.Duration {
+	d := p.base << uint(i)
+	if d <= 0 || d > p.cap {
+		d = p.cap
+	}
+	if p.jitter != nil {
+		d += time.Duration(p.jitter.Int63n(int64(d)/4 + 1))
+	}
+	if d > p.cap {
+		d = p.cap
+	}
+	return d
+}
+
+// client is the retrying HTTP client for one mdsctl invocation.
+type client struct {
+	base   string // http://host:port, no trailing slash
+	token  string // bearer token, optional
+	policy retryPolicy
+	http   *http.Client
+	logf   func(format string, args ...any) // retry narration to stderr, nil = quiet
+}
+
+// retryableStatus reports whether an HTTP status is worth retrying. 429
+// and 503 are explicit backpressure — the daemon told us to come back
+// (rate limit, full queue, or a restart in progress). 504 is a solve
+// timeout: deterministic for a given instance, so retrying would just
+// time out again. 5xx from intermediaries (502) is transient plumbing.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusBadGateway:
+		return true
+	}
+	return false
+}
+
+// errGaveUp wraps the final failure after the retry budget is spent.
+type errGaveUp struct {
+	attempts int
+	last     error
+}
+
+func (e *errGaveUp) Error() string {
+	return fmt.Sprintf("giving up after %d attempts: %v", e.attempts, e.last)
+}
+
+func (e *errGaveUp) Unwrap() error { return e.last }
+
+// do POSTs/GETs path with the retry policy: transport errors and
+// retryable statuses are retried with capped exponential backoff, honoring
+// a Retry-After header when the server sent one (the larger of the two
+// delays wins). Re-submitting a solve is always safe: requests are
+// content-addressed, so a retry that lands after a daemon restart is
+// served from the durable store instead of recomputing.
+//
+// On success the full response body is returned along with the status.
+// Non-retryable statuses (400, 401, 404, 504...) return immediately.
+func (c *client) do(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.policy.attempts; attempt++ {
+		if attempt > 0 {
+			delay := c.policy.backoff(attempt - 1)
+			if ra := retryAfterOf(lastErr); ra > delay {
+				delay = ra
+				if delay > c.policy.cap {
+					delay = c.policy.cap
+				}
+			}
+			if c.logf != nil {
+				c.logf("attempt %d/%d failed (%v); retrying in %v", attempt, c.policy.attempts, lastErr, delay)
+			}
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			}
+		}
+		status, data, err := c.once(ctx, method, path, body)
+		if err == nil {
+			return status, data, nil
+		}
+		lastErr = err
+		var re *retryableError
+		if !errors.As(err, &re) {
+			return status, data, err
+		}
+	}
+	return 0, nil, &errGaveUp{attempts: c.policy.attempts, last: lastErr}
+}
+
+// retryableError marks a failure do may retry; RetryAfter carries the
+// server's Retry-After hint (0 = none).
+type retryableError struct {
+	err        error
+	RetryAfter time.Duration
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+
+func (e *retryableError) Unwrap() error { return e.err }
+
+// retryAfterOf extracts the Retry-After hint from a retryable error.
+func retryAfterOf(err error) time.Duration {
+	var re *retryableError
+	if errors.As(err, &re) {
+		return re.RetryAfter
+	}
+	return 0
+}
+
+// once performs a single attempt with the per-attempt timeout.
+func (c *client) once(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	if c.policy.perTry > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.policy.perTry)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		// Transport errors — connection refused while the daemon restarts,
+		// reset mid-flight, per-attempt timeout — are the retryable case
+		// the backoff exists for.
+		return 0, nil, &retryableError{err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, &retryableError{err: fmt.Errorf("read response: %w", err)}
+	}
+	if retryableStatus(resp.StatusCode) {
+		return resp.StatusCode, data, &retryableError{
+			err:        fmt.Errorf("HTTP %d: %s", resp.StatusCode, firstLine(data)),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	}
+	return resp.StatusCode, data, nil
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After value (the only form
+// mdsd emits); anything else is 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// firstLine trims a response body to its first line for error messages.
+func firstLine(data []byte) string {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		data = data[:i]
+	}
+	if len(data) > 200 {
+		data = data[:200]
+	}
+	return string(bytes.TrimSpace(data))
+}

@@ -1,0 +1,332 @@
+// Command mdsctl is the remote client for a running mdsd daemon: it
+// speaks the existing HTTP API with per-attempt timeouts, capped
+// exponential backoff with deterministic seeded jitter, and Retry-After
+// honored on 429/503 — so a solve submitted while the daemon restarts,
+// sheds load, or rate-limits simply rides it out. Re-submitting is always
+// safe: requests are content-addressed, so a retry that lands after a
+// restart is served from the durable result store, never recomputed.
+//
+// Usage:
+//
+//	mdsctl [-addr http://localhost:8377] [-token T]
+//	       [-retries N] [-retry-base D] [-retry-cap D] [-try-timeout D]
+//	       [-retry-seed S] [-v] <verb> [verb flags]
+//
+// Verbs:
+//
+//	solve   -in FILE|- [-format auto|json|edgelist|dimacs]
+//	        | -generator KIND -n N [-t T] [-p P] [-seed S]
+//	        [-r1 R] [-r2 R] [-max-brute N]   — submit one solve, print the result
+//	jobs    ID                                — poll one job's status
+//	trace   ID [-chrome]                      — fetch a finished job's span tree
+//	events  [-after SEQ]                      — stream /v1/events to stdout
+//	health                                    — GET /healthz
+//
+// Exit status: 0 on success, 1 on any failure (bad flags, exhausted
+// retries, non-2xx response).
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "mdsctl: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mdsctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://localhost:8377", "daemon base URL")
+	token := fs.String("token", "", "bearer token for an authenticated daemon")
+	retries := fs.Int("retries", 8, "total attempts before giving up (>= 1)")
+	retryBase := fs.Duration("retry-base", 200*time.Millisecond, "first backoff step (doubles each retry)")
+	retryCap := fs.Duration("retry-cap", 5*time.Second, "backoff ceiling, Retry-After included")
+	tryTimeout := fs.Duration("try-timeout", 2*time.Minute, "per-attempt timeout (0: none)")
+	retrySeed := fs.Int64("retry-seed", 0, "jitter seed; a fixed seed retries at reproducible instants")
+	verbose := fs.Bool("v", false, "narrate retries to stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mdsctl [flags] <solve|jobs|trace|events|health> [verb flags]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *retries < 1 {
+		return fmt.Errorf("-retries must be >= 1, got %d", *retries)
+	}
+	if *retryBase <= 0 || *retryCap < *retryBase {
+		return fmt.Errorf("-retry-base must be > 0 and -retry-cap >= -retry-base, got %v and %v", *retryBase, *retryCap)
+	}
+	if *tryTimeout < 0 {
+		return fmt.Errorf("-try-timeout must be >= 0, got %v", *tryTimeout)
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return errors.New("missing verb")
+	}
+
+	c := &client{
+		base:  strings.TrimRight(*addr, "/"),
+		token: *token,
+		policy: retryPolicy{
+			attempts: *retries,
+			base:     *retryBase,
+			cap:      *retryCap,
+			perTry:   *tryTimeout,
+			jitter:   rand.New(rand.NewSource(*retrySeed)),
+		},
+		http: &http.Client{},
+	}
+	if *verbose {
+		c.logf = func(format string, args ...any) { fmt.Fprintf(stderr, "mdsctl: "+format+"\n", args...) }
+	}
+
+	verb, verbArgs := rest[0], rest[1:]
+	switch verb {
+	case "solve":
+		return cmdSolve(ctx, c, verbArgs, stdout, stderr)
+	case "jobs":
+		return cmdJobs(ctx, c, verbArgs, stdout)
+	case "trace":
+		return cmdTrace(ctx, c, verbArgs, stdout, stderr)
+	case "events":
+		return cmdEvents(ctx, c, verbArgs, stdout, stderr)
+	case "health":
+		return cmdHealth(ctx, c, stdout)
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown verb %q", verb)
+	}
+}
+
+// expectOK prints the body on 2xx and renders anything else as an error.
+func expectOK(status int, data []byte, stdout io.Writer) error {
+	if status >= 200 && status < 300 {
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			data = append(data, '\n')
+		}
+		_, err := stdout.Write(data)
+		return err
+	}
+	return fmt.Errorf("HTTP %d: %s", status, firstLine(data))
+}
+
+// cmdSolve submits one solve request built from -in/-generator flags.
+func cmdSolve(ctx context.Context, c *client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mdsctl solve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "graph file to submit (- for stdin)")
+	format := fs.String("format", "auto", "encoding of -in: auto, json, edgelist, dimacs")
+	genKind := fs.String("generator", "", "server-side generator kind (ding, grid, cactus, ...) instead of -in")
+	n := fs.Int("n", 0, "generator vertex count")
+	tParam := fs.Int("t", 0, "generator t parameter")
+	p := fs.Float64("p", 0, "generator probability parameter")
+	seed := fs.Int64("seed", 1, "generator seed")
+	r1 := fs.Int("r1", 0, "params R1 (0: server default)")
+	r2 := fs.Int("r2", 0, "params R2 (0: server default)")
+	maxBrute := fs.Int("max-brute", 0, "params max brute-force component (0: server default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	req := map[string]any{}
+	switch {
+	case *genKind != "" && *in != "":
+		return errors.New("solve: -in and -generator are mutually exclusive")
+	case *genKind != "":
+		if *n <= 0 {
+			return errors.New("solve: -generator requires -n > 0")
+		}
+		req["generator"] = map[string]any{"kind": *genKind, "n": *n, "t": *tParam, "p": *p, "seed": *seed}
+	case *in != "":
+		var data []byte
+		var err error
+		if *in == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(*in)
+		}
+		if err != nil {
+			return fmt.Errorf("solve: %w", err)
+		}
+		req["data"] = string(data)
+		req["format"] = *format
+	default:
+		return errors.New("solve: need -in FILE or -generator KIND")
+	}
+	if *r1 != 0 || *r2 != 0 || *maxBrute != 0 {
+		pr := map[string]any{}
+		if *r1 != 0 {
+			pr["r1"] = *r1
+		}
+		if *r2 != 0 {
+			pr["r2"] = *r2
+		}
+		if *maxBrute != 0 {
+			pr["max_brute_component"] = *maxBrute
+		}
+		req["params"] = pr
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	status, data, err := c.do(ctx, http.MethodPost, "/v1/solve", body)
+	if err != nil {
+		return fmt.Errorf("solve: %w", err)
+	}
+	return expectOK(status, data, stdout)
+}
+
+// cmdJobs fetches one job's status.
+func cmdJobs(ctx context.Context, c *client, args []string, stdout io.Writer) error {
+	if len(args) != 1 {
+		return errors.New("jobs: want exactly one job ID")
+	}
+	status, data, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+args[0], nil)
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	return expectOK(status, data, stdout)
+}
+
+// cmdTrace fetches a finished job's span tree.
+func cmdTrace(ctx context.Context, c *client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mdsctl trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	chrome := fs.Bool("chrome", false, "emit Chrome/Perfetto trace-event JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("trace: want exactly one job ID")
+	}
+	path := "/v1/jobs/" + fs.Arg(0) + "/trace"
+	if *chrome {
+		path += "?format=chrome"
+	}
+	status, data, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return expectOK(status, data, stdout)
+}
+
+// cmdHealth fetches /healthz.
+func cmdHealth(ctx context.Context, c *client, stdout io.Writer) error {
+	status, data, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("health: %w", err)
+	}
+	return expectOK(status, data, stdout)
+}
+
+// cmdEvents streams /v1/events, one JSON event per line. On disconnect it
+// reconnects with the retry policy, resuming after the last sequence seen
+// so a daemon restart costs no events that survived the restart's ring.
+func cmdEvents(ctx context.Context, c *client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mdsctl events", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	after := fs.Uint64("after", 0, "replay retained events with seq > this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lastSeq := *after
+	var lastErr error
+	for attempt := 0; attempt < c.policy.attempts; attempt++ {
+		if attempt > 0 {
+			delay := c.policy.backoff(attempt - 1)
+			if c.logf != nil {
+				c.logf("events stream dropped (%v); reconnecting after seq %d in %v", lastErr, lastSeq, delay)
+			}
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil
+			}
+		}
+		clean, seq, err := streamEvents(ctx, c, lastSeq, stdout)
+		if seq > lastSeq {
+			lastSeq = seq
+			attempt = 0 // progress resets the retry budget
+		}
+		if clean || ctx.Err() != nil {
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("events: %w", &errGaveUp{attempts: c.policy.attempts, last: lastErr})
+}
+
+// streamEvents runs one SSE connection, printing each event's JSON line.
+// clean reports an orderly end (daemon drained or the caller cancelled).
+func streamEvents(ctx context.Context, c *client, after uint64, stdout io.Writer) (clean bool, lastSeq uint64, err error) {
+	url := fmt.Sprintf("%s/v1/events?after=%d", c.base, after)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, after, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false, after, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return false, after, fmt.Errorf("HTTP %d: %s", resp.StatusCode, firstLine(data))
+	}
+	lastSeq = after
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	ended := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			var seq uint64
+			if _, err := fmt.Sscanf(line, "id: %d", &seq); err == nil && seq > lastSeq {
+				lastSeq = seq
+			}
+		case line == "event: end":
+			ended = true
+		case strings.HasPrefix(line, "data: "):
+			fmt.Fprintln(stdout, strings.TrimPrefix(line, "data: "))
+			if ended {
+				return true, lastSeq, nil
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return true, lastSeq, nil
+	}
+	err = sc.Err()
+	if err == nil {
+		err = errors.New("stream closed")
+	}
+	return false, lastSeq, err
+}

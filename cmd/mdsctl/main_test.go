@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testClient builds a fast-retrying client against a test server.
+func testClient(base string, attempts int) *client {
+	return &client{
+		base: base,
+		policy: retryPolicy{
+			attempts: attempts,
+			base:     time.Millisecond,
+			cap:      20 * time.Millisecond,
+			perTry:   2 * time.Second,
+			jitter:   rand.New(rand.NewSource(1)),
+		},
+		http: &http.Client{},
+	}
+}
+
+// TestRetryOn503ThenSuccess: the client must ride out transient 503s
+// (daemon restarting or shedding) and deliver the eventual success.
+func TestRetryOn503ThenSuccess(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status":"done"}`)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL, 8)
+	status, data, err := c.do(context.Background(), http.MethodGet, "/healthz", nil)
+	if err != nil || status != 200 || !strings.Contains(string(data), "done") {
+		t.Fatalf("do: status=%d data=%s err=%v", status, data, err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d calls, want 4 (3 failures + success)", got)
+	}
+}
+
+// TestRetryHonorsRetryAfter: a parseable Retry-After larger than the
+// backoff step must dominate the delay.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstRetryAt atomic.Int64
+	start := time.Now()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		firstRetryAt.Store(int64(time.Since(start)))
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL, 3)
+	c.policy.cap = 5 * time.Second // let the 1s hint through
+	if _, _, err := c.do(context.Background(), http.MethodGet, "/", nil); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Duration(firstRetryAt.Load()); waited < 900*time.Millisecond {
+		t.Fatalf("retried after %v, want >= ~1s per Retry-After", waited)
+	}
+}
+
+// TestNoRetryOnDeterministicStatus: 400/401/404/504 must fail immediately
+// — retrying a deterministic failure just burns the budget.
+func TestNoRetryOnDeterministicStatus(t *testing.T) {
+	for _, status := range []int{400, 401, 404, 504} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			http.Error(w, "no", status)
+		}))
+		c := testClient(ts.URL, 8)
+		got, _, err := c.do(context.Background(), http.MethodGet, "/", nil)
+		ts.Close()
+		if err != nil {
+			t.Fatalf("status %d: unexpected client error %v", status, err)
+		}
+		if got != status || calls.Load() != 1 {
+			t.Fatalf("status %d: got %d after %d calls, want 1 call", status, got, calls.Load())
+		}
+	}
+}
+
+// TestRetryAcrossRestart: the target goes away entirely (connection
+// refused) and comes back on the same address — the client's backoff
+// rides out the gap, like a daemon restart under systemd.
+func TestRetryAcrossRestart(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // down: refuse connections
+
+	restarted := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			close(restarted)
+			return
+		}
+		srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, `{"status":"ok"}`)
+		})}
+		go srv.Serve(ln2)
+		close(restarted)
+	}()
+
+	c := testClient("http://"+addr, 12)
+	status, data, err := c.do(context.Background(), http.MethodGet, "/healthz", nil)
+	<-restarted
+	if err != nil || status != 200 {
+		t.Fatalf("client did not survive the restart: status=%d data=%s err=%v", status, data, err)
+	}
+}
+
+// TestGiveUpAfterBudget: a permanently dead endpoint exhausts the budget
+// with a typed error naming the attempt count.
+func TestGiveUpAfterBudget(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c := testClient("http://"+addr, 3)
+	_, _, err = c.do(context.Background(), http.MethodGet, "/", nil)
+	if err == nil || !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("err = %v, want give-up naming 3 attempts", err)
+	}
+}
+
+// TestBackoffDeterministicSeed: equal seeds produce equal delay schedules;
+// the schedule grows and respects the cap.
+func TestBackoffDeterministicSeed(t *testing.T) {
+	mk := func(seed int64) []time.Duration {
+		p := retryPolicy{attempts: 8, base: 100 * time.Millisecond, cap: 2 * time.Second,
+			jitter: rand.New(rand.NewSource(seed))}
+		var ds []time.Duration
+		for i := 0; i < 7; i++ {
+			ds = append(ds, p.backoff(i))
+		}
+		return ds
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at step %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] > 2*time.Second {
+			t.Fatalf("step %d exceeds the cap: %v", i, a[i])
+		}
+	}
+	if c := mk(43); fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+// TestSolveVerbEndToEnd: the solve verb reads a file, posts it, and prints
+// the response; flag validation rejects nonsense combinations.
+func TestSolveVerbEndToEnd(t *testing.T) {
+	var gotBody []byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/solve" {
+			http.NotFound(w, r)
+			return
+		}
+		gotBody, _ = func() ([]byte, error) { b := new(bytes.Buffer); _, e := b.ReadFrom(r.Body); return b.Bytes(), e }()
+		fmt.Fprint(w, `{"status":"done","valid":true}`)
+	}))
+	defer ts.Close()
+
+	in := filepath.Join(t.TempDir(), "c4.txt")
+	if err := os.WriteFile(in, []byte("0 1\n1 2\n2 3\n3 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	err := run(context.Background(), []string{"-addr", ts.URL, "-retries", "2",
+		"solve", "-in", in, "-r1", "4", "-r2", "4"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if !strings.Contains(out.String(), `"status":"done"`) {
+		t.Fatalf("stdout = %q", out.String())
+	}
+	var req map[string]any
+	if err := json.Unmarshal(gotBody, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req["data"] == "" || req["params"] == nil {
+		t.Fatalf("posted request missing data/params: %s", gotBody)
+	}
+
+	for _, bad := range [][]string{
+		{"solve"}, // no input
+		{"solve", "-in", in, "-generator", "grid"}, // both inputs
+		{"solve", "-generator", "grid"},            // generator without -n
+		{"-retries", "0", "health"},                // bad budget
+		{"-retry-base", "-1s", "health"},           // bad backoff
+		{"nonsense"},                               // unknown verb
+		{"jobs"},                                   // missing ID
+	} {
+		if err := run(context.Background(), append([]string{"-addr", ts.URL}, bad...), &out, &errb); err == nil {
+			t.Fatalf("run(%v): want error", bad)
+		}
+	}
+}
+
+// TestEventsVerbStreamsAndResumes: the events verb prints each SSE data
+// line and exits cleanly on the server's end frame.
+func TestEventsVerbStreamsAndResumes(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("after") != "0" {
+			t.Errorf("after = %q, want 0", r.URL.Query().Get("after"))
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		for i := 1; i <= 3; i++ {
+			fmt.Fprintf(w, "id: %d\nevent: done\ndata: {\"seq\":%d}\n\n", i, i)
+			fl.Flush()
+		}
+		fmt.Fprint(w, "event: end\ndata: {\"reason\":\"draining\"}\n\n")
+		fl.Flush()
+	}))
+	defer ts.Close()
+
+	var out, errb bytes.Buffer
+	if err := run(context.Background(), []string{"-addr", ts.URL, "events"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 || lines[0] != `{"seq":1}` || lines[3] != `{"reason":"draining"}` {
+		t.Fatalf("streamed lines = %q", lines)
+	}
+}
+
+// TestHealthVerb: plain pass-through of /healthz.
+func TestHealthVerb(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok","store":"disabled"}`)
+	}))
+	defer ts.Close()
+	var out, errb bytes.Buffer
+	if err := run(context.Background(), []string{"-addr", ts.URL, "health"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"store":"disabled"`) {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}

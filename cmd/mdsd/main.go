@@ -11,6 +11,16 @@
 //	     [-auth-tokens FILE] [-rate R] [-rate-burst B] [-tenant-jobs N]
 //	     [-read-timeout D] [-idle-timeout D] [-admin-addr HOST:PORT]
 //	     [-log-requests] [-events-buffer N]
+//	     [-store-dir DIR] [-store-max-bytes N] [-store-fsync always|none]
+//
+// With -store-dir, completed results are persisted to a crash-safe
+// content-addressed disk store (internal/store) under the in-memory
+// cache: a restart on the same directory serves previously computed
+// results without recompute, corrupt or truncated entries found at
+// startup are quarantined (never served), and any store I/O failure at
+// runtime degrades the daemon to memory-only caching — reported on
+// /healthz, /metrics (mdsd_store_degraded), and /v1/events — without
+// failing requests.
 //
 // Endpoints: POST /v1/solve, POST /v1/batch, GET /v1/jobs/{id},
 // GET /v1/jobs/{id}/trace (span tree, ?format=chrome for Perfetto),
@@ -43,6 +53,7 @@ import (
 	"time"
 
 	"localmds/internal/service"
+	"localmds/internal/store"
 )
 
 // buildVersion is reported in the mdsd_build_info metric; override at
@@ -73,6 +84,9 @@ func run(args []string, stdout io.Writer) error {
 	adminAddr := fs.String("admin-addr", "", "separate admin listener for /debug/pprof/, /healthz, /metrics (empty: disabled)")
 	logRequests := fs.Bool("log-requests", false, "emit one structured JSON log line per request to stderr")
 	eventsBuffer := fs.Int("events-buffer", 256, "job-lifecycle events retained for late /v1/events subscribers")
+	storeDir := fs.String("store-dir", "", "durable result-store directory; restarts on the same directory serve persisted results without recompute (empty: memory-only)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "on-disk result-store byte budget, LRU-evicted (0: unlimited; requires -store-dir)")
+	storeFsync := fs.String("store-fsync", "always", "result-store durability: always (fsync before a result is acknowledged) or none (atomic but may lose recent results on crash)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -93,6 +107,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *eventsBuffer < 1 {
 		return fmt.Errorf("-events-buffer must be >= 1, got %d", *eventsBuffer)
+	}
+	if *storeMaxBytes < 0 {
+		return fmt.Errorf("-store-max-bytes must be >= 0, got %d", *storeMaxBytes)
+	}
+	if *storeMaxBytes > 0 && *storeDir == "" {
+		return fmt.Errorf("-store-max-bytes requires -store-dir")
+	}
+	fsyncPolicy, err := store.ParseFsyncPolicy(*storeFsync)
+	if err != nil {
+		return fmt.Errorf("-store-fsync: %w", err)
 	}
 
 	cfg := service.Config{
@@ -116,6 +140,19 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *logRequests {
 		cfg.AccessLog = os.Stderr
+	}
+	if *storeDir != "" {
+		// Open fails fast on an uncreatable or unwritable directory (it
+		// probes with a real write) and quarantines any invalid entries it
+		// finds, so the daemon never boots half-durable by accident.
+		st, err := store.Open(store.Options{Dir: *storeDir, MaxBytes: *storeMaxBytes, Fsync: fsyncPolicy})
+		if err != nil {
+			return fmt.Errorf("-store-dir: %w", err)
+		}
+		cfg.Store = st
+		stats := st.Stats()
+		fmt.Fprintf(stdout, "mdsd: result store %s: %d entries (%d bytes), %d quarantined, fsync=%s\n",
+			*storeDir, stats.Entries, stats.Bytes, stats.Quarantined, fsyncPolicy)
 	}
 	svc := service.New(cfg)
 

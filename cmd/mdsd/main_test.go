@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -25,12 +27,24 @@ func TestFlagValidation(t *testing.T) {
 		{"-tenant-jobs", "-1"},
 		{"-auth-tokens", "/no/such/token/file"},
 		{"-admin-addr", "not-an-address"},
+		{"-store-max-bytes", "-1"},
+		{"-store-max-bytes", "4096"}, // byte budget without a directory
+		{"-store-fsync", "sometimes"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
 		if err := run(args, &out); err == nil {
 			t.Fatalf("run(%v): want error", args)
 		}
+	}
+	// -store-dir pointing at a plain file fails Open's writability probe.
+	plain := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out2 bytes.Buffer
+	if err := run([]string{"-store-dir", plain}, &out2); err == nil {
+		t.Fatal("run(-store-dir <file>): want error")
 	}
 	// -h prints usage and exits cleanly.
 	var out bytes.Buffer
@@ -125,6 +139,75 @@ func TestServeSolveAndGracefulDrain(t *testing.T) {
 	if !strings.Contains(out.String(), "drained, bye") {
 		t.Fatalf("missing drain log: %q", out.String())
 	}
+}
+
+// TestStoreWarmRestart boots the daemon with -store-dir, solves once,
+// drains it, boots a fresh daemon on the same directory, and expects the
+// repeat solve to be served from the persisted store without recompute.
+func TestStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"data": "0 1\n1 2\n2 3\n3 0\n"}`
+	solve := func(addr string) (cached bool, age float64) {
+		t.Helper()
+		resp, err := http.Post("http://"+addr+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var view struct {
+			Status    string   `json:"status"`
+			Cached    bool     `json:"cached"`
+			CacheAgeS *float64 `json:"cache_age_s"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || view.Status != "done" {
+			t.Fatalf("solve: %d %+v", resp.StatusCode, view)
+		}
+		if view.CacheAgeS != nil {
+			age = *view.CacheAgeS
+		}
+		return view.Cached, age
+	}
+	boot := func() (*syncBuffer, chan error, string) {
+		var out syncBuffer
+		done := make(chan error, 1)
+		go func() {
+			done <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-store-dir", dir}, &out)
+		}()
+		return &out, done, waitForAddr(t, &out, "mdsd: listening on ")
+	}
+	stop := func(out *syncBuffer, done chan error) {
+		t.Helper()
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("daemon did not drain; output: %q", out.String())
+		}
+	}
+
+	out1, done1, addr1 := boot()
+	if cached, _ := solve(addr1); cached {
+		t.Fatal("first solve reported cached")
+	}
+	stop(out1, done1)
+
+	out2, done2, addr2 := boot()
+	if !strings.Contains(out2.String(), "result store "+dir+": 1 entries") {
+		t.Fatalf("restart did not announce the persisted entry: %q", out2.String())
+	}
+	cached, age := solve(addr2)
+	if !cached || age <= 0 {
+		t.Fatalf("warm restart: cached=%v cache_age_s=%v, want a persisted hit with positive age", cached, age)
+	}
+	stop(out2, done2)
 }
 
 // TestDrainMidBatch delivers SIGTERM while async batch jobs are still

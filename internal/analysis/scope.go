@@ -20,15 +20,17 @@ const (
 		"localmds/internal/runner,localmds/internal/service"
 
 	// serviceScope is where the deterministic HTTP rejection taxonomy
-	// lives.
-	serviceScope = "localmds/internal/service"
+	// lives, plus the durable store's byte-offset error taxonomy and the
+	// remote client's retry classification.
+	serviceScope = "localmds/internal/service,localmds/internal/store," +
+		"localmds/cmd/mdsctl"
 
 	// goroutineScope is the daemon/solver code where every goroutine
 	// must come from a bounded pool. internal/runner is deliberately
 	// absent: it implements the sanctioned pool primitives.
 	goroutineScope = "localmds/internal/core,localmds/internal/mds," +
 		"localmds/internal/local,localmds/internal/service,localmds/internal/obs," +
-		"localmds/cmd/mdsd"
+		"localmds/cmd/mdsd,localmds/internal/store,localmds/cmd/mdsctl"
 
 	// spanScope is everywhere spans are minted: the obs package itself,
 	// the pipeline drivers that accept TraceHooks, the daemon, and the

@@ -13,6 +13,10 @@ const (
 	EventDone      = "done"      // finished with a result
 	EventFailed    = "failed"    // finished with an error
 	EventShed      = "shed"      // rejected: queue full, draining, or quota
+	// EventStoreDegraded reports the one-way flip to memory-only caching
+	// after a result-store I/O failure; Error carries the cause. It is a
+	// daemon-lifecycle event, so the job fields are empty.
+	EventStoreDegraded = "store_degraded"
 )
 
 // Event is one job-lifecycle record on the /v1/events stream. Seq is the

@@ -128,7 +128,8 @@ type latencyMS struct {
 	P99 float64 `json:"p99"`
 }
 
-// scenarioResult is one BENCH_service.json entry.
+// scenarioResult is one BENCH_service.json entry. The durability fields
+// are only set by the restart/crash scenarios.
 type scenarioResult struct {
 	Name          string         `json:"name"`
 	Clients       int            `json:"clients"`
@@ -137,6 +138,16 @@ type scenarioResult struct {
 	ThroughputRPS float64        `json:"throughput_rps"`
 	Latency       latencyMS      `json:"latency_ms"`
 	StatusCounts  map[string]int `json:"status_counts"`
+	// WarmHitRate is the fraction of post-restart repeats served from the
+	// persisted store (1.0 = zero recomputes).
+	WarmHitRate float64 `json:"warm_hit_rate,omitempty"`
+	// RestartToReadyMS is store scan + daemon boot + first healthy probe.
+	RestartToReadyMS float64 `json:"restart_to_ready_ms,omitempty"`
+	// Quarantined counts entries the post-crash scan refused to serve.
+	Quarantined int64 `json:"quarantined,omitempty"`
+	// DaemonSurvived records that the (restarted) daemon answered its
+	// final health probe.
+	DaemonSurvived bool `json:"daemon_survived,omitempty"`
 }
 
 func summarize(name string, clients int, duration time.Duration, all []obs) scenarioResult {
@@ -316,6 +327,21 @@ func TestSaturationBlackbox(t *testing.T) {
 		if err := getInto(d.base+"/healthz", &hz); err != nil || hz["status"] != "draining" {
 			t.Fatalf("post-drain healthz: %v %+v", err, hz)
 		}
+	})
+
+	// Scenario 5 — restart on a warm store: a clean stop/start cycle on
+	// the same -store-dir serves every repeat from disk, recomputing
+	// nothing. Records warm-hit rate and restart-to-ready latency.
+	t.Run("restart_warm", func(t *testing.T) {
+		scenarios = append(scenarios, runRestartWarm(t, duration))
+	})
+
+	// Scenario 6 — kill -9 mid-load: a real daemon process dies without
+	// drain, the store is wounded (torn temp, corrupt entry), and the
+	// restarted daemon must serve only checksum-valid entries with zero
+	// recomputes for pre-kill completions.
+	t.Run("kill9_recovery", func(t *testing.T) {
+		scenarios = append(scenarios, runKill9Recovery(t, duration))
 	})
 
 	writeBenchReport(t, scenarios)

@@ -22,10 +22,13 @@ type solveKey struct {
 // newSolveKey builds the cache key from a frozen graph and normalized
 // params.
 func newSolveKey(csr *graph.CSR, p core.Params) solveKey {
-	return solveKey{
-		fp:     csr.Fingerprint(),
-		params: fmt.Sprintf("r1=%d,r2=%d,mbc=%d", p.R1, p.R2, p.MaxBruteComponent),
-	}
+	return solveKey{fp: csr.Fingerprint(), params: paramsKeyString(p)}
+}
+
+// paramsKeyString renders normalized params into the canonical key form
+// shared by the memory cache and the disk store.
+func paramsKeyString(p core.Params) string {
+	return fmt.Sprintf("r1=%d,r2=%d,mbc=%d", p.R1, p.R2, p.MaxBruteComponent)
 }
 
 // resultCache is the content-addressed LRU over completed solves.
@@ -43,9 +46,12 @@ type resultCache struct {
 }
 
 type cacheEntry struct {
-	key      solveKey
-	res      *SolveOutcome
-	storedAt time.Time // when the outcome was computed, for cache-age reporting
+	key solveKey
+	res *SolveOutcome
+	// computedAt is when the outcome was originally computed — not when
+	// this process cached it. Entries warmed from the disk store carry the
+	// persisted instant, so cache_age_s keeps counting across restarts.
+	computedAt time.Time
 }
 
 func newResultCache(capacity int) *resultCache {
@@ -57,7 +63,8 @@ func newResultCache(capacity int) *resultCache {
 }
 
 // get returns the cached outcome for key and its age (time since the
-// outcome was stored), refreshing its recency.
+// outcome was computed, possibly in an earlier process), refreshing its
+// recency.
 func (c *resultCache) get(key solveKey) (*SolveOutcome, time.Duration, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -67,21 +74,22 @@ func (c *resultCache) get(key solveKey) (*SolveOutcome, time.Duration, bool) {
 	}
 	c.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
-	return e.res, time.Since(e.storedAt), true
+	return e.res, time.Since(e.computedAt), true
 }
 
-// put stores the outcome for key, evicting the least recently used entry
-// beyond capacity. Storing an existing key refreshes it.
-func (c *resultCache) put(key solveKey, res *SolveOutcome) {
+// put stores the outcome for key with its computation instant, evicting
+// the least recently used entry beyond capacity. Storing an existing key
+// refreshes it.
+func (c *resultCache) put(key solveKey, res *SolveOutcome, computedAt time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*cacheEntry)
-		e.res, e.storedAt = res, time.Now()
+		e.res, e.computedAt = res, computedAt
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, storedAt: time.Now()})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, computedAt: computedAt})
 	for c.ll.Len() > c.cap {
 		back := c.ll.Back()
 		c.ll.Remove(back)

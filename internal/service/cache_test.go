@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"localmds/internal/core"
 	"localmds/internal/gen"
@@ -26,13 +27,13 @@ func TestCacheHitMissEviction(t *testing.T) {
 		keys[i] = keyFor(t, i+2)
 	}
 	for i, k := range keys[:3] {
-		c.put(k, &SolveOutcome{N: i})
+		c.put(k, &SolveOutcome{N: i}, time.Now())
 	}
 	if _, _, ok := c.get(keys[0]); !ok {
 		t.Fatal("expected hit on keys[0]")
 	}
 	// keys[1] is now LRU; inserting a 4th evicts it.
-	c.put(keys[3], &SolveOutcome{N: 3})
+	c.put(keys[3], &SolveOutcome{N: 3}, time.Now())
 	if _, _, ok := c.get(keys[1]); ok {
 		t.Fatal("keys[1] should have been evicted (LRU)")
 	}
@@ -44,7 +45,7 @@ func TestCacheHitMissEviction(t *testing.T) {
 		t.Fatalf("entries=%d evictions=%d, want 3 and 1", entries, evictions)
 	}
 	// Re-putting an existing key refreshes, never duplicates.
-	c.put(keys[0], &SolveOutcome{N: 99})
+	c.put(keys[0], &SolveOutcome{N: 99}, time.Now())
 	if out, _, ok := c.get(keys[0]); !ok || out.N != 99 {
 		t.Fatalf("refresh put: got %+v, %v", out, ok)
 	}
@@ -72,7 +73,7 @@ func TestCacheConcurrent(t *testing.T) {
 				if out, _, ok := c.get(k); ok {
 					_ = out.N // entries are immutable; read only
 				} else {
-					c.put(k, &SolveOutcome{N: round})
+					c.put(k, &SolveOutcome{N: round}, time.Now())
 				}
 			}
 		}()

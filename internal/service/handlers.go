@@ -191,6 +191,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"cache_entries": entries,
 		"cache_hits":    s.cacheHits.Load(),
 		"cache_misses":  s.cacheMisses.Load(),
+		"store":         s.storeStatus(),
 	})
 }
 

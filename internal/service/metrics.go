@@ -102,6 +102,32 @@ func (s *Server) renderMetrics() string {
 	fmt.Fprintf(&b, "# TYPE mdsd_cache_entries gauge\n")
 	fmt.Fprintf(&b, "mdsd_cache_entries %d\n", entries)
 
+	if s.store != nil {
+		degraded := 0
+		if s.storeDegraded.Load() {
+			degraded = 1
+		}
+		st := s.store.Stats()
+		fmt.Fprintf(&b, "# HELP mdsd_store_degraded Whether the result store failed and the daemon fell back to memory-only caching.\n")
+		fmt.Fprintf(&b, "# TYPE mdsd_store_degraded gauge\n")
+		fmt.Fprintf(&b, "mdsd_store_degraded %d\n", degraded)
+		fmt.Fprintf(&b, "# HELP mdsd_store_entries Validated entries the disk store is serving.\n")
+		fmt.Fprintf(&b, "# TYPE mdsd_store_entries gauge\n")
+		fmt.Fprintf(&b, "mdsd_store_entries %d\n", st.Entries)
+		fmt.Fprintf(&b, "# TYPE mdsd_store_bytes gauge\n")
+		fmt.Fprintf(&b, "mdsd_store_bytes %d\n", st.Bytes)
+		fmt.Fprintf(&b, "# HELP mdsd_store_hits_total Disk-store lookups that served a validated entry.\n")
+		fmt.Fprintf(&b, "# TYPE mdsd_store_hits_total counter\n")
+		fmt.Fprintf(&b, "mdsd_store_hits_total %d\n", st.Hits)
+		fmt.Fprintf(&b, "# TYPE mdsd_store_misses_total counter\n")
+		fmt.Fprintf(&b, "mdsd_store_misses_total %d\n", st.Misses)
+		fmt.Fprintf(&b, "# HELP mdsd_store_quarantined_total Entries moved aside as truncated, corrupt, or alien — at startup scan or Get-time validation — and never served.\n")
+		fmt.Fprintf(&b, "# TYPE mdsd_store_quarantined_total counter\n")
+		fmt.Fprintf(&b, "mdsd_store_quarantined_total %d\n", st.Quarantined)
+		fmt.Fprintf(&b, "# TYPE mdsd_store_evictions_total counter\n")
+		fmt.Fprintf(&b, "mdsd_store_evictions_total %d\n", st.Evictions)
+	}
+
 	draining := 0
 	if s.draining.Load() {
 		draining = 1

@@ -46,6 +46,7 @@ import (
 	"localmds/internal/mds"
 	"localmds/internal/obs"
 	"localmds/internal/runner"
+	"localmds/internal/store"
 )
 
 // Config tunes the daemon.
@@ -94,6 +95,13 @@ type Config struct {
 	// produce one span per residual component); <= 0 selects 4096. Spans
 	// over the cap are counted, not stored.
 	TraceMaxSpans int
+	// Store is the optional disk tier under the memory result cache
+	// (internal/store): completed solves are persisted before their jobs
+	// finish and a restart on the same directory serves them without
+	// recompute. nil disables persistence. The Server takes ownership; any
+	// real I/O error degrades the daemon to memory-only for its lifetime
+	// (store.go) rather than failing requests.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +141,11 @@ type Server struct {
 	baseCtx  context.Context
 	cancel   context.CancelFunc
 	inflight *inflightMap
+
+	// Disk tier (store.go): nil when persistence is disabled; the degraded
+	// flag is one-way — a real I/O error flips the daemon to memory-only.
+	store         *store.Store
+	storeDegraded atomic.Bool
 
 	// Hardening state: hashed credentials, per-tenant accounting, the
 	// drain gate, and observability plumbing (middleware.go).
@@ -197,6 +210,7 @@ func New(cfg Config) *Server {
 		cancel:   cancel,
 		inflight: newInflightMap(),
 		tenants:  map[string]*tenantState{},
+		store:    cfg.Store,
 	}
 	for name, token := range cfg.Tokens {
 		s.tokenHashes = append(s.tokenHashes, tokenEntry{name: name, sum: sha256.Sum256([]byte(token))})
@@ -272,7 +286,14 @@ func (s *Server) submit(ps *parsedSolve, tn *tenantState) (j *Job, rej submitRej
 		s.publishShed(j, tenant, ps, errDraining)
 		return j, rejectShed
 	}
-	if out, age, ok := s.cache.get(ps.key); ok {
+	out, age, ok := s.cache.get(ps.key)
+	if !ok {
+		// Memory miss: the disk tier may still have the result — from this
+		// process or a previous one on the same -store-dir. A disk hit
+		// warms the memory cache and reports the persisted age.
+		out, age, ok = s.storeLookup(ps)
+	}
+	if ok {
 		s.cacheHits.Add(1)
 		j := s.jobs.create(ps.source, true)
 		j.setCacheAge(age)
@@ -407,7 +428,12 @@ func (s *Server) runJob(j *Job, ps *parsedSolve, tenant string) {
 		Valid:       mds.IsDominatingSetCSR(ps.csr, res.S),
 		Result:      res,
 	}
-	s.cache.put(ps.key, out)
+	computedAt := time.Now()
+	s.cache.put(ps.key, out, computedAt)
+	// Persist before the job finishes: when the store runs fsync=always, a
+	// client that saw HTTP 200 can crash us with kill -9 and still find the
+	// result on disk after restart.
+	s.storePersist(ps, out, computedAt)
 	j.finish(out, nil)
 	s.jobs.recordTerminal(StatusDone)
 	s.bus.Publish(obs.Event{

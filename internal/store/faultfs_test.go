@@ -1,0 +1,294 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// faultFS wraps the real filesystem and injects one failure per field.
+// Matching is by substring of the path, so a test can target "the entry
+// file" or "the temp file" without knowing exact names.
+type faultFS struct {
+	inner FS
+
+	createErr   error // Create fails outright
+	writeErr    error // writes through created files fail
+	shortWrite  bool  // writes through created files report n-1, no error
+	syncErr     error // File.Sync fails
+	readErr     error // reads through opened files fail
+	renameErr   error // Rename fails
+	removeErr   error // Remove fails
+	syncDirErr  error // SyncDir fails
+	pathPattern string
+}
+
+func (f *faultFS) match(name string) bool {
+	return f.pathPattern == "" || strings.Contains(name, f.pathPattern)
+}
+
+func (f *faultFS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+
+func (f *faultFS) Open(name string) (File, error) {
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.readErr != nil && f.match(name) {
+		return &faultFile{File: file, readErr: f.readErr}, nil
+	}
+	return file, nil
+}
+
+func (f *faultFS) Create(name string) (File, error) {
+	if f.createErr != nil && f.match(name) {
+		return nil, f.createErr
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	if (f.writeErr != nil || f.shortWrite || f.syncErr != nil) && f.match(name) {
+		return &faultFile{File: file, writeErr: f.writeErr, shortWrite: f.shortWrite, syncErr: f.syncErr}, nil
+	}
+	return file, nil
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if f.renameErr != nil && (f.match(oldpath) || f.match(newpath)) {
+		return f.renameErr
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(name string) error {
+	if f.removeErr != nil && f.match(name) {
+		return f.removeErr
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *faultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.inner.ReadDir(name) }
+
+func (f *faultFS) Stat(name string) (os.FileInfo, error) { return f.inner.Stat(name) }
+
+func (f *faultFS) SyncDir(name string) error {
+	if f.syncDirErr != nil && f.match(name) {
+		return f.syncDirErr
+	}
+	return f.inner.SyncDir(name)
+}
+
+type faultFile struct {
+	File
+	writeErr   error
+	shortWrite bool
+	syncErr    error
+	readErr    error
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.writeErr != nil {
+		return 0, f.writeErr
+	}
+	if f.shortWrite && len(p) > 0 {
+		n, err := f.File.Write(p[:len(p)-1])
+		if err != nil {
+			return n, err
+		}
+		return n, errors.New("short write")
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if f.readErr != nil {
+		return 0, f.readErr
+	}
+	return f.File.Read(p)
+}
+
+func (f *faultFile) Sync() error {
+	if f.syncErr != nil {
+		return f.syncErr
+	}
+	return f.File.Sync()
+}
+
+// seedStore opens a plain store on dir and persists one entry for k, then
+// returns; the fault test reopens the same dir through a faultFS.
+func seedStore(t *testing.T, dir string, k Key) {
+	t.Helper()
+	s := mustOpen(t, Options{Dir: dir})
+	if err := s.Put(k, time.Now().UnixNano(), []byte(`{"seed":true}`)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutENOSPC: a full disk fails the Put with the real error (so the
+// service can degrade), leaves no temp litter, and keeps previously
+// persisted entries servable.
+func TestPutENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	k0, k1 := testKey(0), testKey(1)
+	seedStore(t, dir, k0)
+	ffs := &faultFS{inner: OSFS{}, writeErr: syscall.ENOSPC, pathPattern: ".mdse.tmp"}
+	s := mustOpen(t, Options{Dir: dir, FS: ffs})
+	err := s.Put(k1, 1, []byte("new result"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Put under ENOSPC: %v, want ENOSPC", err)
+	}
+	if _, err := s.Get(k1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("failed Put became visible: %v", err)
+	}
+	if _, err := s.Get(k0); err != nil {
+		t.Fatalf("prior entry lost after ENOSPC: %v", err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if strings.Contains(de.Name(), ".tmp") {
+			t.Fatalf("temp litter after failed Put: %s", de.Name())
+		}
+	}
+}
+
+func TestPutShortWrite(t *testing.T) {
+	ffs := &faultFS{inner: OSFS{}, shortWrite: true, pathPattern: ".mdse.tmp"}
+	s := mustOpen(t, Options{Dir: t.TempDir(), FS: ffs})
+	if err := s.Put(testKey(0), 1, []byte("payload")); err == nil {
+		t.Fatal("short write went unnoticed")
+	}
+	if _, err := s.Get(testKey(0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("torn entry visible: %v", err)
+	}
+}
+
+func TestPutCreateFails(t *testing.T) {
+	ffs := &faultFS{inner: OSFS{}, createErr: syscall.EACCES, pathPattern: ".mdse.tmp"}
+	s := mustOpen(t, Options{Dir: t.TempDir(), FS: ffs})
+	if err := s.Put(testKey(0), 1, []byte("x")); !errors.Is(err, syscall.EACCES) {
+		t.Fatalf("Put: %v, want EACCES", err)
+	}
+}
+
+func TestPutSyncFails(t *testing.T) {
+	ffs := &faultFS{inner: OSFS{}, syncErr: syscall.EIO, pathPattern: ".mdse.tmp"}
+	s := mustOpen(t, Options{Dir: t.TempDir(), FS: ffs, Fsync: FsyncAlways})
+	if err := s.Put(testKey(0), 1, []byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Put: %v, want EIO", err)
+	}
+	// Under FsyncNone the same fault never fires.
+	s2 := mustOpen(t, Options{Dir: t.TempDir(), FS: ffs, Fsync: FsyncNone})
+	if err := s2.Put(testKey(0), 1, []byte("x")); err != nil {
+		t.Fatalf("Put with FsyncNone: %v", err)
+	}
+}
+
+func TestPutRenameFails(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &faultFS{inner: OSFS{}, renameErr: syscall.EIO, pathPattern: entrySuffix}
+	s := mustOpen(t, Options{Dir: dir, FS: ffs})
+	if err := s.Put(testKey(0), 1, []byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Put: %v, want EIO", err)
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("failed rename was indexed: %+v", st)
+	}
+}
+
+// TestGetReadError: a real read failure (not corruption) comes back as the
+// I/O error itself, NOT ErrNotFound — that distinction is what the service
+// keys its degrade-to-memory-only decision on.
+func TestGetReadError(t *testing.T) {
+	dir := t.TempDir()
+	k := testKey(0)
+	seedStore(t, dir, k)
+	s := mustOpen(t, Options{Dir: dir})
+	// Inject after Open: a scan-time read error is fatal (covered below),
+	// this test is about the serving path.
+	s.fs = &faultFS{inner: OSFS{}, readErr: syscall.EIO, pathPattern: entrySuffix}
+	_, err := s.Get(k)
+	if err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get under EIO: %v, want the I/O error itself", err)
+	}
+	// The entry must not have been quarantined: the bytes on disk are fine.
+	if st := s.Stats(); st.Quarantined != 0 {
+		t.Fatalf("I/O error caused quarantine: %+v", st)
+	}
+}
+
+// TestScanReadErrorFailsOpen: an I/O error during the startup scan is a
+// fatal Open error, not a silent quarantine — a flaky disk at boot should
+// stop the store from coming up half-blind.
+func TestScanReadErrorFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir, testKey(0))
+	ffs := &faultFS{inner: OSFS{}, readErr: syscall.EIO, pathPattern: entrySuffix}
+	if _, err := Open(Options{Dir: dir, FS: ffs}); err == nil {
+		t.Fatal("Open succeeded over a disk that cannot read entries")
+	}
+}
+
+func TestOpenProbeFails(t *testing.T) {
+	ffs := &faultFS{inner: OSFS{}, createErr: syscall.EROFS, pathPattern: ".probe"}
+	if _, err := Open(Options{Dir: t.TempDir(), FS: ffs}); !errors.Is(err, syscall.EROFS) {
+		t.Fatalf("Open on read-only fs: %v, want EROFS", err)
+	}
+}
+
+func TestPutSyncDirFails(t *testing.T) {
+	ffs := &faultFS{inner: OSFS{}, syncDirErr: syscall.EIO}
+	// Match only after Open's probe: scope the fault post-construction.
+	s := mustOpen(t, Options{Dir: t.TempDir(), Fsync: FsyncAlways})
+	s.fs = ffs
+	if err := s.Put(testKey(0), 1, []byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Put: %v, want EIO from SyncDir", err)
+	}
+}
+
+// TestEvictionRemoveError: a Remove failure during eviction surfaces to the
+// Put caller (the service degrades) instead of silently leaking budget.
+func TestEvictionRemoveError(t *testing.T) {
+	dir := t.TempDir()
+	payload := strings.Repeat("z", 100)
+	one := entryHeaderLen + int64(len(payload))
+	s := mustOpen(t, Options{Dir: dir, MaxBytes: one})
+	if err := s.Put(testKey(0), 1, []byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	s.fs = &faultFS{inner: OSFS{}, removeErr: syscall.EIO, pathPattern: testKey(0).filename()}
+	if err := s.Put(testKey(1), 1, []byte(payload)); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Put over failing eviction: %v, want EIO", err)
+	}
+}
+
+// TestConcurrentPutGet exercises the lock paths under -race.
+func TestConcurrentPutGet(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), MaxBytes: 64 << 10})
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				k := testKey((w*50 + i) % 20)
+				_ = s.Put(k, int64(i+1), []byte(strings.Repeat("p", 64)))
+				if _, err := s.Get(k); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if st := s.Stats(); st.Quarantined != 0 {
+		t.Fatalf("concurrent churn quarantined entries: %+v", st)
+	}
+}

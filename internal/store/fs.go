@@ -1,0 +1,67 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the narrow filesystem surface the store performs all I/O through.
+// Production uses OSFS; tests swap in wrappers that inject ENOSPC, short
+// writes, read errors, and rename failures at precise points, so every
+// degraded-mode path is exercised without touching a real disk fault.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Create truncate-creates a file for writing.
+	Create(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir flushes directory metadata (the rename journal) to stable
+	// storage; the atomic-rename protocol is only crash-safe once the
+	// directory entry itself is durable.
+	SyncDir(name string) error
+}
+
+// File is the per-file surface: sequential read/write plus Sync for the
+// fsync policy.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Stat() (os.FileInfo, error)
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (OSFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(filepath.Clean(name))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

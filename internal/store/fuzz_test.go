@@ -1,0 +1,63 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReadStoreEntry holds ReadEntry to the same contract the csrbin
+// reader honors: arbitrary input never panics; every rejection is a
+// *FormatError carrying a non-negative byte offset and a message; the
+// same input always yields the same outcome; and an accepted entry
+// re-encodes byte-identically through WriteEntry.
+func FuzzReadStoreEntry(f *testing.F) {
+	// A canonical valid entry, plus mutations that land in each region of
+	// the taxonomy: magic, version, flags, header CRC, payload checksum,
+	// truncation, and trailing garbage.
+	valid := func(payload string) []byte {
+		var buf bytes.Buffer
+		if err := WriteEntry(&buf, testEntry(payload)); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := valid(`{"domination_number":3}`)
+	f.Add([]byte{})
+	f.Add(base)
+	f.Add(valid(""))
+	f.Add(base[:entryHeaderLen-1])
+	f.Add(base[:len(base)-1])
+	f.Add(append(append([]byte(nil), base...), 0x00))
+	for _, off := range []int{0, 8, 12, 20, 64, 72, 85, 92, entryHeaderLen + 1} {
+		m := append([]byte(nil), base...)
+		m[off] ^= 0x01
+		f.Add(m)
+	}
+
+	const maxPayload = 1 << 20
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := ReadEntry(bytes.NewReader(data), maxPayload)
+		if err != nil {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("rejection is not a *FormatError: %v", err)
+			}
+			if fe.Offset < 0 || fe.Msg == "" {
+				t.Fatalf("malformed FormatError: %+v", fe)
+			}
+			if _, err2 := ReadEntry(bytes.NewReader(data), maxPayload); err2 == nil || err2.Error() != err.Error() {
+				t.Fatalf("nondeterministic rejection: %v vs %v", err, err2)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if werr := WriteEntry(&buf, e); werr != nil {
+			t.Fatalf("re-encode of accepted entry failed: %v", werr)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("accepted entry does not re-encode byte-identically (%d vs %d bytes)",
+				buf.Len(), len(data))
+		}
+	})
+}

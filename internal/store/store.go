@@ -1,0 +1,484 @@
+package store
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"localmds/internal/graph"
+)
+
+// FsyncPolicy selects how hard Put pushes an entry to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs the entry file before the rename and the
+	// directory after it: once Put returns, the entry survives a crash
+	// or power loss. This is the durability contract the service's
+	// persist-before-respond ordering relies on.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncNone skips both syncs: the rename is still atomic (no torn
+	// entries are ever visible), but a crash may lose recently written
+	// entries that were only in the page cache.
+	FsyncNone
+)
+
+// ParseFsyncPolicy parses the -store-fsync flag value.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "none":
+		return FsyncNone, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (want always or none)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	if p == FsyncNone {
+		return "none"
+	}
+	return "always"
+}
+
+// Key content-addresses one persisted result: the canonical fingerprint
+// of the frozen CSR plus the normalized solver params string. It is the
+// disk twin of the service layer's in-memory cache key, which is what
+// makes client retries and warm restarts safe: the same request always
+// lands on the same entry.
+type Key struct {
+	Fingerprint graph.Fingerprint
+	Params      string
+}
+
+// entrySuffix is the store's file extension.
+const entrySuffix = ".mdse"
+
+// quarantineDir is the subdirectory corrupt entries are moved into.
+const quarantineDir = "quarantine"
+
+// filename renders the entry file name for a key: the full fingerprint
+// hex plus the params hash, so lookups are a single stat away and the
+// startup scan can detect files that do not match their own header.
+func (k Key) filename() string {
+	return entryFilename(k.Fingerprint, paramsHash(k.Params))
+}
+
+func entryFilename(fp graph.Fingerprint, ph uint64) string {
+	return fmt.Sprintf("%s-%016x%s", fp.String(), ph, entrySuffix)
+}
+
+// ErrNotFound reports a clean miss: no entry, or an entry that failed
+// validation and was quarantined. It is never an I/O failure — those come
+// back verbatim so the caller can degrade.
+var ErrNotFound = errors.New("store: entry not found")
+
+// Options configure Open.
+type Options struct {
+	// Dir is the store directory; created if absent. Open fails if it
+	// cannot be created or is not writable.
+	Dir string
+	// MaxBytes is the on-disk budget across entry files; when a Put
+	// would exceed it, least-recently-used entries are evicted. <= 0
+	// means unlimited.
+	MaxBytes int64
+	// Fsync is the durability policy for writes.
+	Fsync FsyncPolicy
+	// MaxPayloadBytes bounds a single entry's payload on read, so a
+	// forged length field cannot balloon allocation. <= 0 selects 1 GiB.
+	MaxPayloadBytes int64
+	// FS is the filesystem to use; nil selects OSFS. Tests inject
+	// fault-wrapped filesystems here.
+	FS FS
+}
+
+// Stats is a point-in-time snapshot of the store's accounting.
+type Stats struct {
+	// Entries and Bytes describe the live (servable) entry set.
+	Entries int
+	Bytes   int64
+	// Quarantined counts entries moved aside since Open — truncated,
+	// corrupt, or alien files found by the startup scan plus any caught
+	// later by Get validation. Quarantined entries are never served.
+	Quarantined int64
+	// Evictions counts entries removed by the byte-budget LRU.
+	Evictions int64
+	// Hits and Misses count Get outcomes.
+	Hits   int64
+	Misses int64
+}
+
+// Store is the disk-backed result store. All methods are safe for
+// concurrent use; file I/O is serialized under one lock, which is fine at
+// this layer — the memory LRU in front of it absorbs the hot path.
+type Store struct {
+	mu         sync.Mutex
+	fs         FS
+	dir        string
+	qdir       string
+	maxBytes   int64
+	maxPayload int64
+	fsync      FsyncPolicy
+
+	ll     *list.List               // front = most recently used
+	items  map[string]*list.Element // entry filename -> element
+	bytes  int64
+	tmpSeq int64
+
+	quarantined int64
+	evictions   int64
+	hits        int64
+	misses      int64
+}
+
+// indexEntry is one live entry's accounting record.
+type indexEntry struct {
+	name string
+	size int64
+}
+
+// Open creates (if needed) and scans the store directory: leftover temp
+// files from interrupted writes are deleted, and every entry file is
+// fully validated — header and payload checksums, canonical key-to-name
+// correspondence — with failures moved to the quarantine subdirectory,
+// never served. The scan also probes writability so a misconfigured
+// directory fails here, at startup, not on the first solve.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	maxPayload := opts.MaxPayloadBytes
+	if maxPayload <= 0 {
+		maxPayload = 1 << 30
+	}
+	s := &Store{
+		fs:         fsys,
+		dir:        opts.Dir,
+		qdir:       filepath.Join(opts.Dir, quarantineDir),
+		maxBytes:   opts.MaxBytes,
+		maxPayload: maxPayload,
+		fsync:      opts.Fsync,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+	if err := fsys.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", s.dir, err)
+	}
+	if err := fsys.MkdirAll(s.qdir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", s.qdir, err)
+	}
+	if err := s.probeWritable(); err != nil {
+		return nil, fmt.Errorf("store: %s is not writable: %w", s.dir, err)
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// probeWritable round-trips a probe file so Open rejects read-only
+// directories with a clean error instead of degrading on the first Put.
+func (s *Store) probeWritable() error {
+	probe := filepath.Join(s.dir, ".probe.tmp")
+	f, err := s.fs.Create(probe)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write([]byte("probe"))
+	cerr := f.Close()
+	rerr := s.fs.Remove(probe)
+	for _, err := range []error{werr, cerr, rerr} {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scan builds the index from the directory: validated entries ordered by
+// modification time (the LRU order a fresh process can know), temp files
+// removed, and everything else quarantined.
+func (s *Store) scan() error {
+	des, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: scan %s: %w", s.dir, err)
+	}
+	type scanned struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	var live []scanned
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() {
+			continue // the quarantine subdirectory
+		}
+		if strings.Contains(name, ".tmp") {
+			// Leftover from a write interrupted before its rename: the
+			// entry it was building never became visible, so deleting it
+			// is the completion of the crash's rollback.
+			_ = s.fs.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, entrySuffix) {
+			s.quarantine(name)
+			continue
+		}
+		e, err := s.readAndValidate(name)
+		if err != nil {
+			var fe *FormatError
+			if errors.As(err, &fe) || errors.Is(err, errAlienEntry) {
+				s.quarantine(name)
+				continue
+			}
+			return fmt.Errorf("store: scan %s: %w", name, err)
+		}
+		info, err := de.Info()
+		if err != nil {
+			return fmt.Errorf("store: scan %s: %w", name, err)
+		}
+		live = append(live, scanned{name: name, size: entrySize(e), mtime: info.ModTime().UnixNano()})
+	}
+	// Oldest first, name as the deterministic tiebreak; pushing front in
+	// that order leaves the newest entry most recently used.
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].mtime != live[j].mtime {
+			return live[i].mtime < live[j].mtime
+		}
+		return live[i].name < live[j].name
+	})
+	for _, sc := range live {
+		s.items[sc.name] = s.ll.PushFront(&indexEntry{name: sc.name, size: sc.size})
+		s.bytes += sc.size
+	}
+	return nil
+}
+
+// errAlienEntry marks a structurally valid entry whose header key does
+// not match its file name — someone else's entry, or a renamed one. It is
+// quarantined like corruption, distinct only for error messages.
+var errAlienEntry = errors.New("store: entry key does not match its file name")
+
+// readAndValidate reads one entry file and checks it end to end,
+// including that the header's key matches the file name.
+func (s *Store) readAndValidate(name string) (*Entry, error) {
+	f, err := s.fs.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	e, rerr := ReadEntry(f, s.maxPayload)
+	cerr := f.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	if entryFilename(e.Fingerprint, e.ParamsHash) != name {
+		return nil, errAlienEntry
+	}
+	return e, nil
+}
+
+// quarantine moves a failed entry into the quarantine subdirectory (it is
+// kept for forensics, never served); if even the rename fails the file is
+// deleted so it cannot be picked up again.
+func (s *Store) quarantine(name string) {
+	src := filepath.Join(s.dir, name)
+	if err := s.fs.Rename(src, filepath.Join(s.qdir, name)); err != nil {
+		_ = s.fs.Remove(src)
+	}
+	s.quarantined++
+}
+
+// Get returns the entry stored for key. A missing entry — or one that
+// fails validation, which is quarantined on the spot — is ErrNotFound; any
+// other error is a real I/O failure the caller should treat as the disk
+// going away (the service flips to memory-only mode on it).
+func (s *Store) Get(key Key) (*Entry, error) {
+	name := key.filename()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[name]
+	if !ok {
+		s.misses++
+		return nil, ErrNotFound
+	}
+	e, err := s.readAndValidate(name)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Index drift (the file vanished under us): drop the record.
+			s.dropLocked(el)
+			s.misses++
+			return nil, ErrNotFound
+		}
+		var fe *FormatError
+		if errors.As(err, &fe) || errors.Is(err, errAlienEntry) {
+			s.quarantine(name)
+			s.dropLocked(el)
+			s.misses++
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	if e.Fingerprint != key.Fingerprint || e.ParamsHash != paramsHash(key.Params) {
+		s.quarantine(name)
+		s.dropLocked(el)
+		s.misses++
+		return nil, ErrNotFound
+	}
+	s.ll.MoveToFront(el)
+	s.hits++
+	return e, nil
+}
+
+// dropLocked removes an element from the index without touching its file.
+func (s *Store) dropLocked(el *list.Element) {
+	ie := el.Value.(*indexEntry)
+	s.ll.Remove(el)
+	delete(s.items, ie.name)
+	s.bytes -= ie.size
+}
+
+// Put persists one result: the entry is written to a temp file, synced
+// per the fsync policy, and atomically renamed into place, so no reader —
+// in this process or after a crash — can ever observe a torn entry. On
+// success, least-recently-used entries are evicted until the store fits
+// its byte budget again (the fresh entry itself is never evicted). Any
+// error leaves the previous state intact.
+func (s *Store) Put(key Key, computedAtNanos int64, payload []byte) error {
+	e := &Entry{
+		Fingerprint:     key.Fingerprint,
+		ParamsHash:      paramsHash(key.Params),
+		ComputedAtNanos: computedAtNanos,
+		Payload:         payload,
+	}
+	size := entrySize(e)
+	if s.maxBytes > 0 && size > s.maxBytes {
+		// An entry that alone exceeds the whole budget would immediately
+		// evict everything and then be evicted by its successor; skipping
+		// it keeps the store useful. The memory tier still serves it.
+		return nil
+	}
+	name := key.filename()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tmpSeq++
+	tmp := filepath.Join(s.dir, fmt.Sprintf("%s.tmp%d", name, s.tmpSeq))
+	if err := s.writeTemp(tmp, e); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	if s.fsync == FsyncAlways {
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			return err
+		}
+	}
+	if el, ok := s.items[name]; ok {
+		// Overwrite: the rename already replaced the file.
+		ie := el.Value.(*indexEntry)
+		s.bytes += size - ie.size
+		ie.size = size
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[name] = s.ll.PushFront(&indexEntry{name: name, size: size})
+		s.bytes += size
+	}
+	return s.evictLocked(s.items[name])
+}
+
+// writeTemp writes and (per policy) syncs the temp file, cleaning it up
+// on any failure.
+func (s *Store) writeTemp(tmp string, e *Entry) error {
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		_ = f.Close()
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	if err := WriteEntry(f, e); err != nil {
+		return fail(err)
+	}
+	if s.fsync == FsyncAlways {
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// evictLocked removes least-recently-used entries until the store fits
+// the byte budget, never touching keep (the entry just written).
+func (s *Store) evictLocked(keep *list.Element) error {
+	for s.maxBytes > 0 && s.bytes > s.maxBytes {
+		back := s.ll.Back()
+		if back == nil || back == keep {
+			return nil
+		}
+		ie := back.Value.(*indexEntry)
+		if err := s.fs.Remove(filepath.Join(s.dir, ie.name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		s.dropLocked(back)
+		s.evictions++
+	}
+	return nil
+}
+
+// Discard quarantines the entry for key, if present. The service layer
+// calls it when a checksum-valid payload fails to deserialize — a schema
+// mismatch rather than disk corruption — so the entry stops being offered.
+func (s *Store) Discard(key Key) {
+	name := key.filename()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[name]; ok {
+		s.quarantine(name)
+		s.dropLocked(el)
+	}
+}
+
+// Stats snapshots the store's accounting.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:     s.ll.Len(),
+		Bytes:       s.bytes,
+		Quarantined: s.quarantined,
+		Evictions:   s.evictions,
+		Hits:        s.hits,
+		Misses:      s.misses,
+	}
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the store. It holds no file descriptors between calls,
+// so this is a no-op kept for resource-owner symmetry (and so callers
+// written against io.Closer work).
+func (s *Store) Close() error { return nil }
+
+var _ io.Closer = (*Store)(nil)

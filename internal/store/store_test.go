@@ -1,0 +1,276 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"localmds/internal/graph"
+)
+
+// testKey builds a distinct key per index.
+func testKey(i int) Key {
+	g := graph.FromEdgesUnchecked(i+2, [][2]int{{0, 1}})
+	return Key{Fingerprint: g.Fingerprint(), Params: fmt.Sprintf("r1=4,r2=4,mbc=%d", i)}
+}
+
+func mustOpen(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, k Key, payload string) {
+	t.Helper()
+	if err := s.Put(k, time.Now().UnixNano(), []byte(payload)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir()})
+	k := testKey(1)
+	const payload = `{"result": 42}`
+	now := time.Now().UnixNano()
+	if err := s.Put(k, now, []byte(payload)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	e, err := s.Get(k)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(e.Payload) != payload || e.ComputedAtNanos != now {
+		t.Fatalf("entry = %+v", e)
+	}
+	if _, err := s.Get(testKey(2)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v, want ErrNotFound", err)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestWarmRescan: a second Open on the same directory serves everything
+// the first process persisted — the warm-restart contract.
+func TestWarmRescan(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, Options{Dir: dir})
+	computed := time.Now().Add(-time.Hour).UnixNano()
+	for i := 0; i < 5; i++ {
+		if err := s1.Put(testKey(i), computed, []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := mustOpen(t, Options{Dir: dir})
+	if st := s2.Stats(); st.Entries != 5 || st.Quarantined != 0 {
+		t.Fatalf("rescan stats = %+v", st)
+	}
+	for i := 0; i < 5; i++ {
+		e, err := s2.Get(testKey(i))
+		if err != nil {
+			t.Fatalf("Get(%d) after rescan: %v", i, err)
+		}
+		if e.ComputedAtNanos != computed {
+			t.Fatalf("computed-at not persisted: got %d want %d", e.ComputedAtNanos, computed)
+		}
+	}
+}
+
+// TestEviction: the byte budget evicts least-recently-used entries and
+// deletes their files; a Get refreshes recency.
+func TestEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := strings.Repeat("x", 200)
+	one := entryHeaderLen + int64(len(payload))
+	s := mustOpen(t, Options{Dir: dir, MaxBytes: 3 * one})
+	for i := 0; i < 3; i++ {
+		mustPut(t, s, testKey(i), payload)
+	}
+	// Refresh 0 so 1 is the LRU, then overflow.
+	if _, err := s.Get(testKey(0)); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, testKey(3), payload)
+	if _, err := s.Get(testKey(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("LRU entry survived: %v", err)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, err := s.Get(testKey(i)); err != nil {
+			t.Fatalf("entry %d evicted wrongly: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.Bytes != 3*one {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, testKey(1).filename())); !os.IsNotExist(err) {
+		t.Fatalf("evicted file still on disk: %v", err)
+	}
+}
+
+func TestOversizedEntrySkipped(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir(), MaxBytes: entryHeaderLen + 8})
+	if err := s.Put(testKey(0), 1, []byte(strings.Repeat("y", 64))); err != nil {
+		t.Fatalf("oversized Put errored: %v", err)
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("oversized entry stored: %+v", st)
+	}
+}
+
+func TestOverwriteRefreshes(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir()})
+	k := testKey(0)
+	mustPut(t, s, k, "short")
+	mustPut(t, s, k, "a longer payload than before")
+	e, err := s.Get(k)
+	if err != nil || string(e.Payload) != "a longer payload than before" {
+		t.Fatalf("overwrite: %v %q", err, e.Payload)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Bytes != entryHeaderLen+int64(len(e.Payload)) {
+		t.Fatalf("stats after overwrite = %+v", st)
+	}
+}
+
+// TestScanQuarantine: the startup scan moves truncated, corrupt, alien,
+// and foreign files to quarantine/ and deletes temp leftovers; valid
+// entries keep being served.
+func TestScanQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 3; i++ {
+		mustPut(t, s1, testKey(i), `{"ok":true}`)
+	}
+
+	// Truncate entry 0 mid-payload (a torn write that skipped the
+	// atomic-rename protocol).
+	p0 := filepath.Join(dir, testKey(0).filename())
+	data, err := os.ReadFile(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p0, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of entry 1.
+	p1 := filepath.Join(dir, testKey(1).filename())
+	data, err = os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[entryHeaderLen] ^= 0xff
+	if err := os.WriteFile(p1, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An alien: a structurally valid entry under the wrong name.
+	valid, err := os.ReadFile(filepath.Join(dir, testKey(2).filename()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alien := testKey(9).filename()
+	if err := os.WriteFile(filepath.Join(dir, alien), valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A foreign file and a leftover temp file.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmpName := testKey(5).filename() + ".tmp7"
+	if err := os.WriteFile(filepath.Join(dir, tmpName), data[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, Options{Dir: dir})
+	st := s2.Stats()
+	if st.Entries != 1 || st.Quarantined != 4 {
+		t.Fatalf("stats after hostile scan = %+v", st)
+	}
+	if _, err := s2.Get(testKey(0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("truncated entry served: %v", err)
+	}
+	if _, err := s2.Get(testKey(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt entry served: %v", err)
+	}
+	if _, err := s2.Get(testKey(2)); err != nil {
+		t.Fatalf("valid entry lost: %v", err)
+	}
+	// Quarantined files moved, not deleted; temp file simply removed.
+	for _, name := range []string{testKey(0).filename(), testKey(1).filename(), alien, "notes.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, quarantineDir, name)); err != nil {
+			t.Fatalf("quarantined file %s missing: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, tmpName)); !os.IsNotExist(err) {
+		t.Fatalf("temp leftover survived the scan: %v", err)
+	}
+}
+
+// TestGetQuarantinesRuntimeCorruption: corruption that appears after the
+// scan (bit rot) is caught by Get's validation, quarantined, and reported
+// as a miss — never served, and never an I/O error.
+func TestGetQuarantinesRuntimeCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Options{Dir: dir})
+	k := testKey(0)
+	mustPut(t, s, k, `{"fresh":true}`)
+	path := filepath.Join(dir, k.filename())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[entryHeaderLen+1] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("corrupt entry: %v, want ErrNotFound", err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	s := mustOpen(t, Options{Dir: t.TempDir()})
+	k := testKey(0)
+	mustPut(t, s, k, "not json at all")
+	s.Discard(k)
+	if _, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("discarded entry served: %v", err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOpenRejectsBadDirs(t *testing.T) {
+	if _, err := Open(Options{Dir: ""}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if os.Getuid() != 0 { // root ignores file modes
+		ro := filepath.Join(t.TempDir(), "ro")
+		if err := os.Mkdir(ro, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(Options{Dir: filepath.Join(ro, "store")}); err == nil {
+			t.Fatal("unwritable parent accepted")
+		}
+	}
+	// A path that is a file, not a directory.
+	f := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: f}); err == nil {
+		t.Fatal("file-as-dir accepted")
+	}
+}

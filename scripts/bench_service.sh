@@ -6,10 +6,12 @@
 # boots a real daemon per scenario on a loopback socket and drives it
 # with a closed-loop load generator: hot-cache throughput, queue
 # saturation with 503 shedding, an adversarial mix exercising the
-# 400/401/429 rejection paths under auth + quotas, and a drain under
-# load. The emitted JSON records per-scenario throughput, p50/p95/p99
-# latency, and status counts, plus daemon_survived — the perf and
-# degradation snapshot tracked across PRs.
+# 400/401/429 rejection paths under auth + quotas, a drain under load,
+# a warm restart on a persisted store (zero recomputes), and a SIGKILL
+# mid-load with planted corruption. The emitted JSON records per-scenario
+# throughput, p50/p95/p99 latency, and status counts, plus warm-hit
+# rate, restart-to-ready latency, quarantine counts, and
+# daemon_survived — the perf and degradation snapshot tracked across PRs.
 #
 # Usage: scripts/bench_service.sh [output.json]
 #   MDSD_BENCH_DURATION=500ms|3s|...   per-scenario load window
